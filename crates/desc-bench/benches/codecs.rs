@@ -1,0 +1,78 @@
+//! Raw throughput of the transfer-scheme codecs: blocks encoded per
+//! second per scheme, plus the cycle-stepped protocol and the SECDED
+//! path. These are the hot loops of every experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use desc_core::protocol::{Link, LinkConfig};
+use desc_core::schemes::{SchemeKind, SkipMode};
+use desc_core::{ChunkSize, TransferScheme};
+use desc_ecc::InterleavedBlock;
+use desc_workloads::BenchmarkId;
+use std::hint::black_box;
+
+fn bench_schemes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scheme_transfer");
+    let blocks: Vec<_> = {
+        let mut stream = BenchmarkId::Ocean.profile().value_stream(1);
+        (0..256).map(|_| stream.next_block()).collect()
+    };
+    group.throughput(Throughput::Elements(blocks.len() as u64));
+    for kind in SchemeKind::ALL {
+        group.bench_function(kind.label(), |b| {
+            let mut scheme = kind.build_paper_config();
+            b.iter(|| {
+                let mut transitions = 0u64;
+                for block in &blocks {
+                    transitions += scheme.transfer(black_box(block)).total_transitions();
+                }
+                black_box(transitions)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_protocol(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol");
+    let blocks: Vec<_> = {
+        let mut stream = BenchmarkId::Fft.profile().value_stream(2);
+        (0..64).map(|_| stream.next_block()).collect()
+    };
+    group.throughput(Throughput::Elements(blocks.len() as u64));
+    group.bench_function("cycle_stepped_link_128w", |b| {
+        let cfg = LinkConfig {
+            wires: 128,
+            chunk_size: ChunkSize::PAPER_DEFAULT,
+            mode: SkipMode::Zero,
+            wire_delay: 2,
+        };
+        b.iter(|| {
+            let mut link = Link::new(cfg);
+            for block in &blocks {
+                black_box(link.transfer(black_box(block)).cost.cycles);
+            }
+        });
+    });
+    group.finish();
+}
+
+fn bench_ecc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ecc");
+    let blocks: Vec<_> = {
+        let mut stream = BenchmarkId::Cg.profile().value_stream(3);
+        (0..64).map(|_| stream.next_block()).collect()
+    };
+    group.throughput(Throughput::Elements(blocks.len() as u64));
+    group.bench_function("interleave_encode_decode_137_128", |b| {
+        b.iter(|| {
+            for block in &blocks {
+                let e = InterleavedBlock::encode_paper(black_box(block));
+                black_box(e.decode().usable());
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_schemes, bench_protocol, bench_ecc);
+criterion_main!(benches);

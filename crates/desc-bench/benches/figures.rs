@@ -1,0 +1,26 @@
+//! Criterion benchmarks regenerating every table and figure of the
+//! paper at reduced scale — one benchmark per experiment, so
+//! `cargo bench` both exercises and times the whole reproduction
+//! harness. Run the `repro` binary for full-scale tables.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use desc_experiments::{experiment_names, run_experiment, Scale};
+use std::hint::black_box;
+
+fn bench_figures(c: &mut Criterion) {
+    let scale = Scale::tiny();
+    let mut group = c.benchmark_group("paper");
+    group.sample_size(10);
+    for name in experiment_names() {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let table = run_experiment(black_box(name), &scale);
+                black_box(table.row_count())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! # desc-bench
+//!
+//! Benchmark-only crate. The Criterion harnesses live in `benches/`:
+//!
+//! * `figures` — regenerates every table and figure of the paper at
+//!   reduced scale, one benchmark per experiment (`cargo bench -p
+//!   desc-bench --bench figures`).
+//! * `codecs` — raw throughput of the transfer-scheme encoders, the
+//!   cycle-stepped protocol, and the SECDED interleave path.
+//!
+//! For full-scale figure regeneration use the `repro` binary from
+//! `desc-experiments` instead; benches exist to keep the whole
+//! reproduction harness fast and regression-tracked.
+
+#![forbid(unsafe_code)]

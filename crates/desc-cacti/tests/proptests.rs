@@ -1,0 +1,130 @@
+//! Property-based tests for the cache model: the physical
+//! monotonicities every valid calibration must respect.
+
+use desc_cacti::{CacheConfig, CacheModel, DeviceType, Signaling};
+use proptest::prelude::*;
+
+fn arb_device() -> impl Strategy<Value = DeviceType> {
+    prop_oneof![Just(DeviceType::Hp), Just(DeviceType::Lop), Just(DeviceType::Lstp)]
+}
+
+fn arb_config() -> impl Strategy<Value = CacheConfig> {
+    (
+        prop_oneof![
+            Just(512usize << 10),
+            Just(1 << 20),
+            Just(2 << 20),
+            Just(8 << 20),
+            Just(32 << 20)
+        ],
+        prop_oneof![Just(1usize), Just(2), Just(4), Just(8), Just(16), Just(32), Just(64)],
+        prop_oneof![Just(16usize), Just(64), Just(128), Just(256), Just(512)],
+        arb_device(),
+        arb_device(),
+    )
+        .prop_map(|(capacity_bytes, banks, bus_width_bits, cell, periphery)| CacheConfig {
+            capacity_bytes,
+            banks,
+            bus_width_bits,
+            cell_device: cell,
+            periphery_device: periphery,
+            ..CacheConfig::paper_baseline()
+        })
+}
+
+proptest! {
+    /// All five CACTI quantities are finite and positive everywhere in
+    /// the explored design space.
+    #[test]
+    fn quantities_are_physical(config in arb_config()) {
+        let m = CacheModel::new(config);
+        prop_assert!(m.htree_energy_per_transition() > 0.0);
+        prop_assert!(m.htree_energy_per_transition() < 1e-9, "over a nanojoule per flip");
+        prop_assert!(m.array_read_energy() > 0.0);
+        prop_assert!(m.leakage_power() > 0.0 && m.leakage_power() < 100.0);
+        prop_assert!(m.area_mm2() > 0.1 && m.area_mm2() < 1000.0);
+        prop_assert!(m.hit_latency_cycles() >= 3);
+        prop_assert!(m.miss_latency_cycles() <= m.hit_latency_cycles());
+    }
+
+    /// More capacity → more area, more leakage, costlier wires.
+    #[test]
+    fn capacity_monotonicity(config in arb_config()) {
+        let small = CacheModel::new(config);
+        let big = CacheModel::new(CacheConfig {
+            capacity_bytes: config.capacity_bytes * 2,
+            ..config
+        });
+        prop_assert!(big.area_mm2() > small.area_mm2());
+        prop_assert!(big.leakage_power() > small.leakage_power());
+        prop_assert!(big.htree_energy_per_transition() > small.htree_energy_per_transition());
+    }
+
+    /// Wider buses never lengthen binary transfers; hit latency is
+    /// monotone non-increasing in width.
+    #[test]
+    fn width_monotonicity(config in arb_config()) {
+        let narrow = CacheModel::new(config);
+        let wide = CacheModel::new(CacheConfig {
+            bus_width_bits: config.bus_width_bits * 2,
+            ..config
+        });
+        prop_assert!(wide.binary_transfer_cycles() <= narrow.binary_transfer_cycles());
+        // Extra wires add routing area (a slightly longer tree), so
+        // allow one cycle of slack when widening saves no beats.
+        prop_assert!(wide.hit_latency_cycles() <= narrow.hit_latency_cycles() + 1);
+    }
+
+    /// Device-class leakage ordering holds for any organisation.
+    #[test]
+    fn device_leakage_ordering(config in arb_config()) {
+        let with = |d: DeviceType| {
+            CacheModel::new(CacheConfig { cell_device: d, periphery_device: d, ..config })
+                .leakage_power()
+        };
+        let hp = with(DeviceType::Hp);
+        let lop = with(DeviceType::Lop);
+        let lstp = with(DeviceType::Lstp);
+        prop_assert!(hp > lop);
+        prop_assert!(lop > lstp);
+    }
+
+    /// Low-swing signaling always reduces per-transition energy and
+    /// never reduces delay.
+    #[test]
+    fn low_swing_tradeoff(config in arb_config(), swing in 0.05f64..0.5) {
+        let full = CacheModel::new(config);
+        let low = CacheModel::new(CacheConfig {
+            signaling: Signaling::LowSwing { swing_v: swing },
+            ..config
+        });
+        prop_assert!(low.htree_energy_per_transition() < full.htree_energy_per_transition());
+        prop_assert!(low.htree_delay_cycles() >= full.htree_delay_cycles());
+    }
+
+    /// Energy pricing is linear in activity.
+    #[test]
+    fn energy_linear_in_activity(
+        config in arb_config(),
+        transitions in 1u64..1_000_000,
+        reads in 1u64..100_000,
+    ) {
+        use desc_cacti::cache::CacheActivity;
+        let m = CacheModel::new(config);
+        let one = m.energy_for(&CacheActivity {
+            htree_transitions: transitions,
+            array_reads: reads,
+            array_writes: 0,
+            tag_lookups: reads,
+            elapsed_s: 0.001,
+        });
+        let two = m.energy_for(&CacheActivity {
+            htree_transitions: transitions * 2,
+            array_reads: reads * 2,
+            array_writes: 0,
+            tag_lookups: reads * 2,
+            elapsed_s: 0.002,
+        });
+        prop_assert!((two.total() - 2.0 * one.total()).abs() < 1e-9 * two.total().max(1e-30));
+    }
+}

@@ -1,0 +1,176 @@
+//! Activity-factor analytics over per-wire transition counts.
+//!
+//! The paper's premise is that conventional binary encoding makes
+//! interconnect activity *data-dependent*: some wires flip constantly
+//! (low-order bits of changing values) while others barely move
+//! (shared pointer prefixes, zero columns). DESC makes activity both
+//! lower and *uniform* — each wire toggles once per unskipped chunk.
+//! This module quantifies that with summary statistics over the
+//! per-wire counters exposed by
+//! [`BinaryScheme::wire_transitions`][crate::schemes::BinaryScheme::wire_transitions]
+//! and
+//! [`DescScheme::wire_transitions`][crate::schemes::DescScheme::wire_transitions].
+
+/// Summary statistics of per-wire switching activity.
+///
+/// # Examples
+///
+/// ```
+/// use desc_core::analysis::ActivitySummary;
+///
+/// let s = ActivitySummary::from_counts(&[10, 10, 10, 30]);
+/// assert_eq!(s.total(), 60);
+/// assert_eq!(s.max(), 30);
+/// assert!(s.imbalance() > 1.9); // max is ~2x the mean
+/// ```
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct ActivitySummary {
+    total: u64,
+    max: u64,
+    min: u64,
+    wires: usize,
+    sum_sq: f64,
+}
+
+impl ActivitySummary {
+    /// Summarises a slice of per-wire transition counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts` is empty.
+    #[must_use]
+    pub fn from_counts(counts: &[u64]) -> Self {
+        assert!(!counts.is_empty(), "need at least one wire");
+        Self {
+            total: counts.iter().sum(),
+            max: counts.iter().copied().max().unwrap_or(0),
+            min: counts.iter().copied().min().unwrap_or(0),
+            wires: counts.len(),
+            sum_sq: counts.iter().map(|&c| (c as f64) * (c as f64)).sum(),
+        }
+    }
+
+    /// Total transitions across wires.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Busiest wire's transitions.
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Quietest wire's transitions.
+    #[must_use]
+    pub fn min(&self) -> u64 {
+        self.min
+    }
+
+    /// Mean transitions per wire.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.total as f64 / self.wires as f64
+    }
+
+    /// Ratio of the busiest wire to the mean (1.0 = perfectly
+    /// balanced). Peak activity bounds electromigration and IR-drop
+    /// design margins, so lower is better.
+    #[must_use]
+    pub fn imbalance(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            self.max as f64 / self.mean()
+        }
+    }
+
+    /// Coefficient of variation of per-wire activity (0 = uniform).
+    #[must_use]
+    pub fn variation(&self) -> f64 {
+        let mean = self.mean();
+        if mean == 0.0 {
+            return 0.0;
+        }
+        let var = (self.sum_sq / self.wires as f64) - mean * mean;
+        var.max(0.0).sqrt() / mean
+    }
+
+    /// Mean activity factor per wire per cycle, given the cycles the
+    /// link was active.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycles` is zero.
+    #[must_use]
+    pub fn activity_factor(&self, cycles: u64) -> f64 {
+        assert!(cycles > 0, "activity factor needs a non-zero interval");
+        self.mean() / cycles as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schemes::{BinaryScheme, DescScheme, SkipMode};
+    use crate::{Block, ChunkSize, TransferScheme};
+
+    #[test]
+    fn uniform_counts_have_no_variation() {
+        let s = ActivitySummary::from_counts(&[7; 64]);
+        assert_eq!(s.imbalance(), 1.0);
+        assert!(s.variation() < 1e-12);
+        assert_eq!(s.min(), 7);
+    }
+
+    #[test]
+    fn skewed_counts_show_imbalance() {
+        let mut counts = vec![1u64; 63];
+        counts.push(100);
+        let s = ActivitySummary::from_counts(&counts);
+        assert!(s.imbalance() > 30.0);
+        assert!(s.variation() > 3.0);
+    }
+
+    #[test]
+    fn zero_activity_is_balanced_by_convention() {
+        let s = ActivitySummary::from_counts(&[0, 0, 0]);
+        assert_eq!(s.imbalance(), 1.0);
+        assert_eq!(s.variation(), 0.0);
+    }
+
+    /// The motivating property: on pointer-like data (shared high
+    /// bits), binary activity is skewed across wires while basic DESC
+    /// is perfectly uniform.
+    #[test]
+    fn desc_equalizes_wire_activity() {
+        let mut binary = BinaryScheme::new(64);
+        let mut desc = DescScheme::new(128, ChunkSize::new(4).expect("valid"), SkipMode::None)
+            .without_sync_strobe();
+        // Pointer-ish blocks: low 16 bits vary, the rest are fixed.
+        for i in 0..64u64 {
+            let words: Vec<u64> = (0..8).map(|k| 0x7F30_0000_0000 | ((i * 8 + k) * 64)).collect();
+            let block = Block::from_words(&words);
+            binary.transfer(&block);
+            desc.transfer(&block);
+        }
+        let b = ActivitySummary::from_counts(&binary.wire_transitions());
+        let d = ActivitySummary::from_counts(&desc.wire_transitions());
+        assert!(b.variation() > 0.5, "binary variation {:.2}", b.variation());
+        assert!(d.variation() < 1e-12, "basic DESC must be uniform");
+        assert_eq!(d.imbalance(), 1.0);
+    }
+
+    #[test]
+    fn activity_factor_is_per_cycle() {
+        let s = ActivitySummary::from_counts(&[50, 50]);
+        assert!((s.activity_factor(100) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one wire")]
+    fn empty_counts_rejected() {
+        let _ = ActivitySummary::from_counts(&[]);
+    }
+}

@@ -1,0 +1,298 @@
+//! Cache-block containers.
+//!
+//! A [`Block`] is the unit of data every [`TransferScheme`] moves across
+//! the interconnect: a fixed-width bit string, 512 bits (64 bytes) for
+//! the paper's L2 configuration, but any byte length is supported so the
+//! chunk-size and bus-width sweeps (paper Figs. 22 and 26) can reuse the
+//! same machinery.
+//!
+//! [`TransferScheme`]: crate::scheme::TransferScheme
+
+use std::fmt;
+
+/// The paper's cache-block size in bytes (Table 1: 64 B blocks).
+pub const PAPER_BLOCK_BYTES: usize = 64;
+
+/// A fixed-width bit string transferred over the cache interconnect.
+///
+/// Bits are numbered LSB-first within each byte: bit `i` of the block is
+/// bit `i % 8` of byte `i / 8`. The ordering only has to be applied
+/// consistently by encoders and decoders; all schemes in this crate use
+/// this one.
+///
+/// # Examples
+///
+/// ```
+/// use desc_core::Block;
+///
+/// let block = Block::from_bytes(&[0b0101_0011, 0xFF]);
+/// assert_eq!(block.bit(0), true);   // LSB of byte 0
+/// assert_eq!(block.bit(2), false);
+/// assert_eq!(block.bit_len(), 16);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Block {
+    bytes: Vec<u8>,
+}
+
+impl Block {
+    /// Creates an all-zero block of `len` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    #[must_use]
+    pub fn zeroed(len: usize) -> Self {
+        assert!(len > 0, "a block must contain at least one byte");
+        Self { bytes: vec![0; len] }
+    }
+
+    /// Creates a block by copying `bytes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is empty.
+    #[must_use]
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        assert!(!bytes.is_empty(), "a block must contain at least one byte");
+        Self { bytes: bytes.to_vec() }
+    }
+
+    /// Creates a block from little-endian `u64` words (convenient for
+    /// synthetic workload generators).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` is empty.
+    #[must_use]
+    pub fn from_words(words: &[u64]) -> Self {
+        assert!(!words.is_empty(), "a block must contain at least one word");
+        let mut bytes = Vec::with_capacity(words.len() * 8);
+        for w in words {
+            bytes.extend_from_slice(&w.to_le_bytes());
+        }
+        Self { bytes }
+    }
+
+    /// The block contents as bytes.
+    #[must_use]
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Length in bytes.
+    #[must_use]
+    pub fn byte_len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Length in bits.
+    #[must_use]
+    pub fn bit_len(&self) -> usize {
+        self.bytes.len() * 8
+    }
+
+    /// Returns bit `i` (LSB-first within each byte).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.bit_len()`.
+    #[must_use]
+    pub fn bit(&self, i: usize) -> bool {
+        assert!(i < self.bit_len(), "bit index {i} out of range");
+        (self.bytes[i / 8] >> (i % 8)) & 1 == 1
+    }
+
+    /// Sets bit `i` (LSB-first within each byte).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.bit_len()`.
+    pub fn set_bit(&mut self, i: usize, value: bool) {
+        assert!(i < self.bit_len(), "bit index {i} out of range");
+        let mask = 1u8 << (i % 8);
+        if value {
+            self.bytes[i / 8] |= mask;
+        } else {
+            self.bytes[i / 8] &= !mask;
+        }
+    }
+
+    /// Extracts `width` bits starting at bit `start` as a little-endian
+    /// integer. Bits past the end of the block read as zero, which gives
+    /// chunk sizes that do not divide the block width a well-defined
+    /// zero-padded final chunk.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or greater than 16.
+    #[must_use]
+    pub fn bits(&self, start: usize, width: usize) -> u16 {
+        assert!(width > 0 && width <= 16, "bit field width {width} out of range");
+        let mut v = 0u16;
+        for k in 0..width {
+            let i = start + k;
+            if i < self.bit_len() && self.bit(i) {
+                v |= 1 << k;
+            }
+        }
+        v
+    }
+
+    /// Writes `width` bits of `value` starting at bit `start`; bits past
+    /// the end of the block are ignored (the mirror of [`Block::bits`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or greater than 16.
+    pub fn set_bits(&mut self, start: usize, width: usize, value: u16) {
+        assert!(width > 0 && width <= 16, "bit field width {width} out of range");
+        for k in 0..width {
+            let i = start + k;
+            if i < self.bit_len() {
+                self.set_bit(i, (value >> k) & 1 == 1);
+            }
+        }
+    }
+
+    /// True if every bit of the block is zero (a *null block*; the paper
+    /// notes DESC "has mechanisms that exploit null and redundant
+    /// blocks").
+    #[must_use]
+    pub fn is_null(&self) -> bool {
+        self.bytes.iter().all(|&b| b == 0)
+    }
+
+    /// Number of bit positions at which `self` and `other` differ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the blocks have different lengths.
+    #[must_use]
+    pub fn hamming_distance(&self, other: &Block) -> u32 {
+        assert_eq!(
+            self.byte_len(),
+            other.byte_len(),
+            "hamming distance requires equal-length blocks"
+        );
+        self.bytes
+            .iter()
+            .zip(&other.bytes)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum()
+    }
+}
+
+impl fmt::Debug for Block {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Block({} B:", self.bytes.len())?;
+        for b in self.bytes.iter().take(8) {
+            write!(f, " {b:02x}")?;
+        }
+        if self.bytes.len() > 8 {
+            write!(f, " …")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl Default for Block {
+    /// An all-zero 64-byte block (the paper's block size).
+    fn default() -> Self {
+        Self::zeroed(PAPER_BLOCK_BYTES)
+    }
+}
+
+impl From<&[u8]> for Block {
+    fn from(bytes: &[u8]) -> Self {
+        Self::from_bytes(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_block_is_null() {
+        let b = Block::zeroed(64);
+        assert!(b.is_null());
+        assert_eq!(b.bit_len(), 512);
+    }
+
+    #[test]
+    fn default_block_matches_paper_size() {
+        assert_eq!(Block::default().byte_len(), PAPER_BLOCK_BYTES);
+    }
+
+    #[test]
+    fn bit_get_set_roundtrip() {
+        let mut b = Block::zeroed(2);
+        b.set_bit(3, true);
+        b.set_bit(11, true);
+        assert!(b.bit(3));
+        assert!(b.bit(11));
+        assert!(!b.bit(4));
+        b.set_bit(3, false);
+        assert!(!b.bit(3));
+        assert_eq!(b.as_bytes(), &[0b0000_0000, 0b0000_1000]);
+    }
+
+    #[test]
+    fn bits_reads_lsb_first() {
+        let b = Block::from_bytes(&[0b0101_0011]);
+        assert_eq!(b.bits(0, 4), 0b0011);
+        assert_eq!(b.bits(4, 4), 0b0101);
+        assert_eq!(b.bits(0, 8), 0b0101_0011);
+    }
+
+    #[test]
+    fn bits_past_end_read_zero() {
+        let b = Block::from_bytes(&[0xFF]);
+        assert_eq!(b.bits(6, 4), 0b0011); // two real bits + two padded zeros
+    }
+
+    #[test]
+    fn set_bits_roundtrip() {
+        let mut b = Block::zeroed(2);
+        b.set_bits(5, 7, 0b101_1010);
+        assert_eq!(b.bits(5, 7), 0b101_1010);
+    }
+
+    #[test]
+    fn from_words_little_endian() {
+        let b = Block::from_words(&[0x0102_0304_0506_0708]);
+        assert_eq!(b.as_bytes()[0], 0x08);
+        assert_eq!(b.as_bytes()[7], 0x01);
+    }
+
+    #[test]
+    fn hamming_distance_counts_differing_bits() {
+        let a = Block::from_bytes(&[0b1111_0000, 0x00]);
+        let b = Block::from_bytes(&[0b0000_0000, 0x01]);
+        assert_eq!(a.hamming_distance(&b), 5);
+        assert_eq!(a.hamming_distance(&a), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn hamming_distance_rejects_mismatched_lengths() {
+        let a = Block::zeroed(8);
+        let b = Block::zeroed(16);
+        let _ = a.hamming_distance(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one byte")]
+    fn empty_block_rejected() {
+        let _ = Block::from_bytes(&[]);
+    }
+
+    #[test]
+    fn debug_is_nonempty_and_truncated() {
+        let b = Block::zeroed(64);
+        let s = format!("{b:?}");
+        assert!(s.contains("64 B"));
+        assert!(s.contains('…'));
+    }
+}

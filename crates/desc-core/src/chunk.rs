@@ -1,0 +1,369 @@
+//! Block ⇄ chunk partitioning and chunk-to-wire assignment (paper §3.1,
+//! Fig. 4).
+//!
+//! DESC partitions a cache block into fixed-size contiguous chunks; each
+//! chunk is assigned to a specific data wire. When there are more chunks
+//! than wires, wire `w` carries chunks `w, w + W, w + 2·W, …` (Fig. 4-b
+//! shows wire 1 carrying chunks 1 and 65 for 128 chunks on 64 wires), so
+//! the block is moved in `ceil(chunks / wires)` successive *rounds*.
+
+use crate::block::Block;
+use std::fmt;
+
+/// A validated chunk width in bits (1–8, paper §5.6.2 sweeps 1–8).
+///
+/// # Examples
+///
+/// ```
+/// use desc_core::ChunkSize;
+///
+/// let c = ChunkSize::new(4).unwrap();
+/// assert_eq!(c.bits(), 4);
+/// assert_eq!(c.value_count(), 16);
+/// assert!(ChunkSize::new(0).is_none());
+/// assert!(ChunkSize::new(9).is_none());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ChunkSize(u8);
+
+impl ChunkSize {
+    /// The paper's default chunk size (4 bits — best energy-delay
+    /// product, §5.6.2).
+    pub const PAPER_DEFAULT: ChunkSize = ChunkSize(4);
+
+    /// Creates a chunk size, returning `None` unless `1 <= bits <= 8`.
+    #[must_use]
+    pub fn new(bits: u8) -> Option<Self> {
+        (1..=8).contains(&bits).then_some(Self(bits))
+    }
+
+    /// Width in bits.
+    #[must_use]
+    pub fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// Number of distinct values a chunk can hold (`2^bits`).
+    #[must_use]
+    pub fn value_count(self) -> u16 {
+        1 << self.0
+    }
+
+    /// Largest value a chunk can hold.
+    #[must_use]
+    pub fn max_value(self) -> u16 {
+        self.value_count() - 1
+    }
+
+    /// Number of chunks needed to carry `bit_len` bits (final chunk
+    /// zero-padded when the width does not divide evenly).
+    #[must_use]
+    pub fn chunks_for_bits(self, bit_len: usize) -> usize {
+        bit_len.div_ceil(self.0 as usize)
+    }
+}
+
+impl Default for ChunkSize {
+    fn default() -> Self {
+        Self::PAPER_DEFAULT
+    }
+}
+
+impl fmt::Display for ChunkSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-bit", self.0)
+    }
+}
+
+/// A block partitioned into chunk values.
+///
+/// # Examples
+///
+/// ```
+/// use desc_core::{Block, ChunkSize, Chunks};
+///
+/// let block = Block::from_bytes(&[0x53, 0x00]);
+/// let chunks = Chunks::split(&block, ChunkSize::new(4).unwrap());
+/// assert_eq!(chunks.values(), &[0x3, 0x5, 0x0, 0x0]);
+/// assert_eq!(chunks.reassemble(2).as_bytes(), &[0x53, 0x00]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Chunks {
+    size: ChunkSize,
+    values: Vec<u16>,
+}
+
+impl Chunks {
+    /// Partitions `block` into contiguous chunks of `size` bits,
+    /// LSB-first (chunk 0 holds block bits `0..size`).
+    #[must_use]
+    pub fn split(block: &Block, size: ChunkSize) -> Self {
+        let n = size.chunks_for_bits(block.bit_len());
+        let width = size.bits() as usize;
+        let values = (0..n).map(|i| block.bits(i * width, width)).collect();
+        Self { size, values }
+    }
+
+    /// Builds chunks directly from values (used by tests and the
+    /// protocol layer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any value exceeds the chunk's maximum value.
+    #[must_use]
+    pub fn from_values(size: ChunkSize, values: Vec<u16>) -> Self {
+        for &v in &values {
+            assert!(v <= size.max_value(), "chunk value {v} exceeds {size} maximum");
+        }
+        Self { size, values }
+    }
+
+    /// The chunk size.
+    #[must_use]
+    pub fn size(&self) -> ChunkSize {
+        self.size
+    }
+
+    /// The chunk values in block order.
+    #[must_use]
+    pub fn values(&self) -> &[u16] {
+        &self.values
+    }
+
+    /// Number of chunks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if there are no chunks (cannot happen for chunks produced by
+    /// [`Chunks::split`], since blocks are non-empty).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Reassembles the original block of `byte_len` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chunks cannot cover `byte_len` bytes.
+    #[must_use]
+    pub fn reassemble(&self, byte_len: usize) -> Block {
+        let width = self.size.bits() as usize;
+        assert!(
+            self.values.len() * width >= byte_len * 8,
+            "{} chunks of {} cannot fill {} bytes",
+            self.values.len(),
+            self.size,
+            byte_len
+        );
+        let mut block = Block::zeroed(byte_len);
+        for (i, &v) in self.values.iter().enumerate() {
+            block.set_bits(i * width, width, v);
+        }
+        block
+    }
+
+    /// Fraction of chunks whose value is zero (the statistic behind the
+    /// paper's Fig. 12: ~31% across the evaluated applications).
+    #[must_use]
+    pub fn zero_fraction(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        let zeros = self.values.iter().filter(|&&v| v == 0).count();
+        zeros as f64 / self.values.len() as f64
+    }
+}
+
+/// Assignment of chunks to data wires (paper Fig. 4).
+///
+/// Wire `w` carries chunks `w, w + wires, w + 2·wires, …`; round `r`
+/// consists of chunks `r·wires .. (r+1)·wires` (chunk index order), so
+/// chunk `i` travels on wire `i % wires` during round `i / wires`.
+///
+/// # Examples
+///
+/// ```
+/// use desc_core::WireAssignment;
+///
+/// // 128 chunks over 64 wires → 2 rounds; wire 0 carries chunks 0 and 64.
+/// let a = WireAssignment::new(128, 64);
+/// assert_eq!(a.rounds(), 2);
+/// assert_eq!(a.wire_of(64), 0);
+/// assert_eq!(a.round_of(64), 1);
+/// assert_eq!(a.chunks_on_wire(1), vec![1, 65]);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct WireAssignment {
+    chunks: usize,
+    wires: usize,
+}
+
+impl WireAssignment {
+    /// Creates an assignment of `chunks` chunks onto `wires` data wires.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either count is zero.
+    #[must_use]
+    pub fn new(chunks: usize, wires: usize) -> Self {
+        assert!(chunks > 0, "at least one chunk is required");
+        assert!(wires > 0, "at least one wire is required");
+        Self { chunks, wires }
+    }
+
+    /// Total number of chunks.
+    #[must_use]
+    pub fn chunk_count(&self) -> usize {
+        self.chunks
+    }
+
+    /// Number of data wires.
+    #[must_use]
+    pub fn wire_count(&self) -> usize {
+        self.wires
+    }
+
+    /// Number of transfer rounds (`ceil(chunks / wires)`).
+    #[must_use]
+    pub fn rounds(&self) -> usize {
+        self.chunks.div_ceil(self.wires)
+    }
+
+    /// The wire that carries chunk `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn wire_of(&self, i: usize) -> usize {
+        assert!(i < self.chunks, "chunk index {i} out of range");
+        i % self.wires
+    }
+
+    /// The round during which chunk `i` is transferred.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn round_of(&self, i: usize) -> usize {
+        assert!(i < self.chunks, "chunk index {i} out of range");
+        i / self.wires
+    }
+
+    /// The chunk carried by `wire` during `round`, if any (the final
+    /// round may leave high-numbered wires idle).
+    #[must_use]
+    pub fn chunk_at(&self, wire: usize, round: usize) -> Option<usize> {
+        if wire >= self.wires || round >= self.rounds() {
+            return None;
+        }
+        let i = round * self.wires + wire;
+        (i < self.chunks).then_some(i)
+    }
+
+    /// All chunk indices carried by `wire`, in transmission order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wire` is out of range.
+    #[must_use]
+    pub fn chunks_on_wire(&self, wire: usize) -> Vec<usize> {
+        assert!(wire < self.wires, "wire index {wire} out of range");
+        (0..self.rounds()).filter_map(|r| self.chunk_at(wire, r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_size_bounds() {
+        assert!(ChunkSize::new(1).is_some());
+        assert!(ChunkSize::new(8).is_some());
+        assert!(ChunkSize::new(0).is_none());
+        assert!(ChunkSize::new(9).is_none());
+        assert_eq!(ChunkSize::default(), ChunkSize::PAPER_DEFAULT);
+    }
+
+    #[test]
+    fn paper_configuration_yields_128_chunks() {
+        // 512-bit block, 4-bit chunks → 128 chunks (paper §3.2.1).
+        let c = ChunkSize::PAPER_DEFAULT;
+        assert_eq!(c.chunks_for_bits(512), 128);
+    }
+
+    #[test]
+    fn split_matches_manual_nibbles() {
+        let block = Block::from_bytes(&[0xAB, 0xCD]);
+        let chunks = Chunks::split(&block, ChunkSize::new(4).unwrap());
+        assert_eq!(chunks.values(), &[0xB, 0xA, 0xD, 0xC]);
+    }
+
+    #[test]
+    fn split_one_bit_chunks_are_bits() {
+        let block = Block::from_bytes(&[0b0000_0101]);
+        let chunks = Chunks::split(&block, ChunkSize::new(1).unwrap());
+        assert_eq!(chunks.values(), &[1, 0, 1, 0, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn split_reassemble_roundtrip_odd_width() {
+        // 3-bit chunks over 16 bits: 6 chunks, last one padded.
+        let block = Block::from_bytes(&[0x12, 0x34]);
+        let chunks = Chunks::split(&block, ChunkSize::new(3).unwrap());
+        assert_eq!(chunks.len(), 6);
+        assert_eq!(chunks.reassemble(2), block);
+    }
+
+    #[test]
+    fn zero_fraction_counts_zero_chunks() {
+        let c = Chunks::from_values(ChunkSize::new(4).unwrap(), vec![0, 0, 5, 0]);
+        assert!((c.zero_fraction() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn from_values_validates_range() {
+        let _ = Chunks::from_values(ChunkSize::new(4).unwrap(), vec![16]);
+    }
+
+    #[test]
+    fn wire_assignment_equal_counts_single_round() {
+        let a = WireAssignment::new(128, 128);
+        assert_eq!(a.rounds(), 1);
+        assert_eq!(a.wire_of(127), 127);
+        assert_eq!(a.chunks_on_wire(0), vec![0]);
+    }
+
+    #[test]
+    fn wire_assignment_matches_fig4b() {
+        // Fig. 4-b (1-indexed in the paper): wire 1 ← chunks 1 and 65,
+        // wire 64 ← chunks 64 and 128; 0-indexed here.
+        let a = WireAssignment::new(128, 64);
+        assert_eq!(a.chunks_on_wire(0), vec![0, 64]);
+        assert_eq!(a.chunks_on_wire(63), vec![63, 127]);
+        assert_eq!(a.round_of(65), 1);
+        assert_eq!(a.wire_of(65), 1);
+    }
+
+    #[test]
+    fn ragged_final_round_leaves_wires_idle() {
+        let a = WireAssignment::new(10, 4);
+        assert_eq!(a.rounds(), 3);
+        assert_eq!(a.chunk_at(1, 2), Some(9));
+        assert_eq!(a.chunk_at(2, 2), None);
+        assert_eq!(a.chunks_on_wire(3), vec![3, 7]);
+    }
+
+    #[test]
+    fn chunk_at_out_of_range_is_none() {
+        let a = WireAssignment::new(8, 4);
+        assert_eq!(a.chunk_at(4, 0), None);
+        assert_eq!(a.chunk_at(0, 2), None);
+    }
+}

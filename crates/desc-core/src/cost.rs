@@ -1,0 +1,273 @@
+//! Transfer cost accounting — the common currency of all schemes.
+//!
+//! A [`TransferCost`] reports, for one cache-block transfer, the exact
+//! number of wire transitions broken down by wire class, the transfer
+//! latency in bus clock cycles, and the wire counts the scheme occupies.
+//! Energy models downstream (the `desc-cacti` crate) convert transitions
+//! into joules; performance models convert cycles into hit latency.
+
+use crate::wire::WireClass;
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign};
+
+/// Exact cost of transferring one block over the interconnect.
+///
+/// # Examples
+///
+/// ```
+/// use desc_core::TransferCost;
+///
+/// let a = TransferCost { data_transitions: 4, cycles: 1, ..TransferCost::ZERO };
+/// let b = TransferCost { data_transitions: 2, control_transitions: 1, cycles: 3, ..TransferCost::ZERO };
+/// let sum = a + b;
+/// assert_eq!(sum.total_transitions(), 7);
+/// assert_eq!(sum.cycles, 4);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct TransferCost {
+    /// Transitions on the data wires of the bus.
+    pub data_transitions: u64,
+    /// Transitions on shared strobe wires (DESC reset/skip) and
+    /// per-segment control wires (invert / zero-indicator / mode wires).
+    pub control_transitions: u64,
+    /// Transitions on the synchronization strobe (DESC only).
+    pub sync_transitions: u64,
+    /// Bus clock cycles the transfer occupies the link.
+    pub cycles: u64,
+}
+
+impl TransferCost {
+    /// The zero cost (no transfer).
+    pub const ZERO: TransferCost = TransferCost {
+        data_transitions: 0,
+        control_transitions: 0,
+        sync_transitions: 0,
+        cycles: 0,
+    };
+
+    /// Transitions summed over every wire class.
+    #[must_use]
+    pub fn total_transitions(&self) -> u64 {
+        self.data_transitions + self.control_transitions + self.sync_transitions
+    }
+
+    /// Adds `n` transitions attributed to `class`.
+    pub fn add_transitions(&mut self, class: WireClass, n: u64) {
+        match class {
+            WireClass::Data => self.data_transitions += n,
+            WireClass::ResetSkip | WireClass::Control => self.control_transitions += n,
+            WireClass::Sync => self.sync_transitions += n,
+        }
+    }
+}
+
+impl Add for TransferCost {
+    type Output = TransferCost;
+
+    fn add(mut self, rhs: TransferCost) -> TransferCost {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for TransferCost {
+    fn add_assign(&mut self, rhs: TransferCost) {
+        self.data_transitions += rhs.data_transitions;
+        self.control_transitions += rhs.control_transitions;
+        self.sync_transitions += rhs.sync_transitions;
+        self.cycles += rhs.cycles;
+    }
+}
+
+impl Sum for TransferCost {
+    fn sum<I: Iterator<Item = TransferCost>>(iter: I) -> TransferCost {
+        iter.fold(TransferCost::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for TransferCost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} data + {} ctrl + {} sync transitions in {} cycles",
+            self.data_transitions, self.control_transitions, self.sync_transitions, self.cycles
+        )
+    }
+}
+
+/// Wire resources a scheme occupies, used for area accounting and for
+/// normalising energy across schemes with different wire counts.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct WireBudget {
+    /// Data wires in the bus.
+    pub data_wires: usize,
+    /// Shared strobes plus per-segment control wires.
+    pub control_wires: usize,
+    /// Synchronization strobe wires (0 or 1).
+    pub sync_wires: usize,
+}
+
+impl WireBudget {
+    /// Total physical wires.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.data_wires + self.control_wires + self.sync_wires
+    }
+}
+
+impl fmt::Display for WireBudget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} data + {} ctrl + {} sync wires",
+            self.data_wires, self.control_wires, self.sync_wires
+        )
+    }
+}
+
+/// Running aggregate over many block transfers, with convenience
+/// statistics used throughout the evaluation.
+///
+/// # Examples
+///
+/// ```
+/// use desc_core::{CostSummary, TransferCost};
+///
+/// let mut s = CostSummary::new();
+/// s.record(TransferCost { data_transitions: 4, cycles: 2, ..TransferCost::ZERO });
+/// s.record(TransferCost { data_transitions: 2, cycles: 4, ..TransferCost::ZERO });
+/// assert_eq!(s.blocks(), 2);
+/// assert_eq!(s.mean_cycles(), 3.0);
+/// assert_eq!(s.total().data_transitions, 6);
+/// ```
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct CostSummary {
+    total: TransferCost,
+    blocks: u64,
+    max_cycles: u64,
+}
+
+impl CostSummary {
+    /// An empty summary.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records the cost of one block transfer.
+    pub fn record(&mut self, cost: TransferCost) {
+        self.total += cost;
+        self.blocks += 1;
+        self.max_cycles = self.max_cycles.max(cost.cycles);
+    }
+
+    /// Number of blocks recorded.
+    #[must_use]
+    pub fn blocks(&self) -> u64 {
+        self.blocks
+    }
+
+    /// Summed cost over all recorded blocks.
+    #[must_use]
+    pub fn total(&self) -> TransferCost {
+        self.total
+    }
+
+    /// Mean transitions per block (all wire classes).
+    #[must_use]
+    pub fn mean_transitions(&self) -> f64 {
+        if self.blocks == 0 {
+            0.0
+        } else {
+            self.total.total_transitions() as f64 / self.blocks as f64
+        }
+    }
+
+    /// Mean transfer latency per block in cycles.
+    #[must_use]
+    pub fn mean_cycles(&self) -> f64 {
+        if self.blocks == 0 {
+            0.0
+        } else {
+            self.total.cycles as f64 / self.blocks as f64
+        }
+    }
+
+    /// Worst-case transfer latency observed.
+    #[must_use]
+    pub fn max_cycles(&self) -> u64 {
+        self.max_cycles
+    }
+
+    /// Merges another summary into this one.
+    pub fn merge(&mut self, other: &CostSummary) {
+        self.total += other.total;
+        self.blocks += other.blocks;
+        self.max_cycles = self.max_cycles.max(other.max_cycles);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_cost_is_identity() {
+        let c = TransferCost { data_transitions: 3, control_transitions: 2, sync_transitions: 1, cycles: 7 };
+        assert_eq!(c + TransferCost::ZERO, c);
+        assert_eq!(c.total_transitions(), 6);
+    }
+
+    #[test]
+    fn add_transitions_routes_by_class() {
+        let mut c = TransferCost::ZERO;
+        c.add_transitions(WireClass::Data, 5);
+        c.add_transitions(WireClass::ResetSkip, 2);
+        c.add_transitions(WireClass::Control, 1);
+        c.add_transitions(WireClass::Sync, 4);
+        assert_eq!(c.data_transitions, 5);
+        assert_eq!(c.control_transitions, 3);
+        assert_eq!(c.sync_transitions, 4);
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let costs = vec![
+            TransferCost { data_transitions: 1, cycles: 1, ..TransferCost::ZERO },
+            TransferCost { data_transitions: 2, cycles: 2, ..TransferCost::ZERO },
+        ];
+        let s: TransferCost = costs.into_iter().sum();
+        assert_eq!(s.data_transitions, 3);
+        assert_eq!(s.cycles, 3);
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let mut s = CostSummary::new();
+        assert_eq!(s.mean_transitions(), 0.0);
+        s.record(TransferCost { data_transitions: 10, cycles: 5, ..TransferCost::ZERO });
+        s.record(TransferCost { data_transitions: 20, sync_transitions: 2, cycles: 15, ..TransferCost::ZERO });
+        assert_eq!(s.mean_transitions(), 16.0);
+        assert_eq!(s.mean_cycles(), 10.0);
+        assert_eq!(s.max_cycles(), 15);
+    }
+
+    #[test]
+    fn summary_merge_combines() {
+        let mut a = CostSummary::new();
+        a.record(TransferCost { cycles: 3, ..TransferCost::ZERO });
+        let mut b = CostSummary::new();
+        b.record(TransferCost { cycles: 9, ..TransferCost::ZERO });
+        a.merge(&b);
+        assert_eq!(a.blocks(), 2);
+        assert_eq!(a.max_cycles(), 9);
+    }
+
+    #[test]
+    fn wire_budget_total() {
+        let w = WireBudget { data_wires: 128, control_wires: 1, sync_wires: 1 };
+        assert_eq!(w.total(), 130);
+        assert!(format!("{w}").contains("128 data"));
+    }
+}

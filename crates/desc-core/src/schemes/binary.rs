@@ -1,0 +1,169 @@
+//! Conventional binary (parallel) transfer — the paper's baseline.
+
+use crate::block::Block;
+use crate::cost::{TransferCost, WireBudget};
+use crate::scheme::TransferScheme;
+use crate::wire::Wire;
+
+/// Conventional binary encoding: the block is driven over `width` data
+/// wires in `ceil(bits / width)` bus beats, one bit per wire per beat
+/// (paper Fig. 3-a).
+///
+/// Transitions are counted against the *persistent* wire state, so
+/// transferring two similar blocks back-to-back is cheaper than two
+/// dissimilar ones — exactly the data-dependence DESC eliminates.
+///
+/// # Examples
+///
+/// ```
+/// use desc_core::{Block, TransferScheme, schemes::BinaryScheme};
+///
+/// // Paper Fig. 3-a: one byte over 8 wires starting from all-zero
+/// // wires costs 4 bit-flips in 1 cycle.
+/// let mut s = BinaryScheme::new(8);
+/// let cost = s.transfer(&Block::from_bytes(&[0b0101_0011]));
+/// assert_eq!(cost.data_transitions, 4);
+/// assert_eq!(cost.cycles, 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct BinaryScheme {
+    wires: Vec<Wire>,
+}
+
+impl BinaryScheme {
+    /// Creates a binary scheme over `width` data wires.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    #[must_use]
+    pub fn new(width: usize) -> Self {
+        assert!(width > 0, "bus width must be positive");
+        Self { wires: vec![Wire::new(); width] }
+    }
+
+    /// The bus width in wires.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.wires.len()
+    }
+
+    /// Cumulative transitions per data wire since construction or the
+    /// last [`TransferScheme::reset`] — input for activity-balance
+    /// analysis ([`crate::analysis`]).
+    ///
+    /// [`TransferScheme::reset`]: crate::TransferScheme::reset
+    #[must_use]
+    pub fn wire_transitions(&self) -> Vec<u64> {
+        self.wires.iter().map(crate::wire::Wire::transitions).collect()
+    }
+}
+
+impl TransferScheme for BinaryScheme {
+    fn name(&self) -> &'static str {
+        "Conventional Binary"
+    }
+
+    fn wires(&self) -> WireBudget {
+        WireBudget { data_wires: self.wires.len(), control_wires: 0, sync_wires: 0 }
+    }
+
+    fn transfer(&mut self, block: &Block) -> TransferCost {
+        let width = self.wires.len();
+        let beats = block.bit_len().div_ceil(width);
+        let mut flips = 0u64;
+        for beat in 0..beats {
+            for (k, wire) in self.wires.iter_mut().enumerate() {
+                let i = beat * width + k;
+                // Bits past the block's end leave the wire unchanged
+                // (the bus simply is not driven there).
+                if i < block.bit_len() && wire.drive(block.bit(i)) {
+                    flips += 1;
+                }
+            }
+        }
+        TransferCost {
+            data_transitions: flips,
+            control_transitions: 0,
+            sync_transitions: 0,
+            cycles: beats as u64,
+        }
+    }
+
+    fn reset(&mut self) {
+        self.wires = vec![Wire::new(); self.wires.len()];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3a_example() {
+        let mut s = BinaryScheme::new(8);
+        let cost = s.transfer(&Block::from_bytes(&[0b0101_0011]));
+        assert_eq!(cost.data_transitions, 4);
+        assert_eq!(cost.cycles, 1);
+        assert_eq!(cost.control_transitions, 0);
+        assert_eq!(cost.sync_transitions, 0);
+    }
+
+    #[test]
+    fn beats_scale_with_width() {
+        let block = Block::from_bytes(&[0xFF; 64]); // 512 bits
+        assert_eq!(BinaryScheme::new(64).transfer(&block).cycles, 8);
+        assert_eq!(BinaryScheme::new(128).transfer(&block).cycles, 4);
+        assert_eq!(BinaryScheme::new(512).transfer(&block).cycles, 1);
+    }
+
+    #[test]
+    fn identical_block_resend_costs_only_intra_block_activity() {
+        // A block whose beats are all identical: resending flips nothing.
+        let mut s = BinaryScheme::new(64);
+        let block = Block::from_bytes(&[0xA5; 64]);
+        let first = s.transfer(&block);
+        assert!(first.data_transitions > 0);
+        let second = s.transfer(&block);
+        assert_eq!(second.data_transitions, 0);
+    }
+
+    #[test]
+    fn all_ones_then_zero_block_flips_every_wire_twice() {
+        let mut s = BinaryScheme::new(512);
+        let ones = Block::from_bytes(&[0xFF; 64]);
+        let zeros = Block::from_bytes(&[0x00; 64]);
+        assert_eq!(s.transfer(&ones).data_transitions, 512);
+        assert_eq!(s.transfer(&zeros).data_transitions, 512);
+    }
+
+    #[test]
+    fn intra_block_transitions_counted_per_beat() {
+        // 8-wire bus, two beats: 0xFF then 0x00 → 8 + 8 flips.
+        let mut s = BinaryScheme::new(8);
+        let block = Block::from_bytes(&[0xFF, 0x00]);
+        let cost = s.transfer(&block);
+        assert_eq!(cost.data_transitions, 16);
+        assert_eq!(cost.cycles, 2);
+    }
+
+    #[test]
+    fn reset_restores_power_on_state() {
+        let mut s = BinaryScheme::new(8);
+        let block = Block::from_bytes(&[0xFF]);
+        let first = s.transfer(&block);
+        s.reset();
+        assert_eq!(s.transfer(&block), first);
+    }
+
+    #[test]
+    fn width_not_dividing_block_pads_final_beat() {
+        // 24-bit block over 16 wires: 2 beats, final beat half-driven.
+        let mut s = BinaryScheme::new(16);
+        let block = Block::from_bytes(&[0xFF, 0xFF, 0xFF]);
+        let cost = s.transfer(&block);
+        assert_eq!(cost.cycles, 2);
+        // Beat 0 flips 16 wires; beat 1 drives wires 0..8 (already 1) → 0 flips.
+        assert_eq!(cost.data_transitions, 16);
+    }
+}

@@ -1,0 +1,486 @@
+//! DESC — data exchange using synchronized counters (paper §3).
+//!
+//! A block is split into chunks (paper Fig. 4); each chunk travels on
+//! its assigned data wire as a *single toggle* whose timing encodes the
+//! value. Transfers proceed in `ceil(chunks / wires)` rounds; each round
+//! is a time window opened by a toggle on the shared reset/skip wire.
+//! With value skipping (§3.3) chunks equal to the skip value stay
+//! silent and are filled in at the receiver when the window closes.
+//!
+//! ## Timing model (documented in DESIGN.md §5)
+//!
+//! * Without skipping, the counter enumerates `0..2^c`, so a chunk of
+//!   value `v` takes `v + 1` cycles (Fig. 5: value 2 → 3 cycles) and
+//!   chunks chain per wire without global windows.
+//! * With skipping, the skip value is excluded from the count list
+//!   (Fig. 10-b), so value `v` strobes at position `v + 1` when
+//!   `v < skip` and at position `v` when `v > skip`; a round's window
+//!   lasts `max(1, max strobe position)` cycles.
+//! * The synchronization strobe toggles once per cycle while the
+//!   transfer is active (§3.1: a half-frequency signal sampled on both
+//!   edges); its transitions are charged to the scheme.
+
+use crate::block::Block;
+use crate::chunk::{ChunkSize, Chunks, WireAssignment};
+use crate::cost::{TransferCost, WireBudget};
+use crate::scheme::TransferScheme;
+use crate::wire::Wire;
+
+/// Value-skipping policy for a DESC interface (paper §3.3).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum SkipMode {
+    /// Basic DESC: every chunk toggles its wire.
+    None,
+    /// Zero skipping: chunks with value 0 stay silent (the paper's best
+    /// variant, 1.81× L2 energy).
+    #[default]
+    Zero,
+    /// Last-value skipping: a chunk stays silent when it equals the
+    /// previous value transmitted on its wire.
+    LastValue,
+}
+
+impl SkipMode {
+    /// The paper's figure-legend name for the corresponding DESC
+    /// variant.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            SkipMode::None => "Basic DESC",
+            SkipMode::Zero => "Zero Skipped DESC",
+            SkipMode::LastValue => "Last Value Skipped DESC",
+        }
+    }
+}
+
+/// Detailed statistics for one DESC block transfer, beyond the plain
+/// [`TransferCost`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct DescTransferStats {
+    /// Chunks whose strobe was elided by value skipping.
+    pub skipped_chunks: usize,
+    /// Chunks that toggled their wire.
+    pub strobed_chunks: usize,
+    /// Number of transfer rounds (time windows).
+    pub rounds: usize,
+}
+
+/// A DESC transmitter/receiver interface over `wires` data wires.
+///
+/// # Examples
+///
+/// ```
+/// use desc_core::{Block, ChunkSize, TransferScheme};
+/// use desc_core::schemes::{DescScheme, SkipMode};
+///
+/// // Paper Fig. 3-c: one byte over two data wires, 4-bit chunks,
+/// // basic DESC — three bit-flips (reset + one per chunk).
+/// let mut s = DescScheme::new(2, ChunkSize::new(4).unwrap(), SkipMode::None);
+/// let cost = s.transfer(&Block::from_bytes(&[0b0101_0011]));
+/// assert_eq!(cost.data_transitions + cost.control_transitions, 3);
+/// ```
+#[derive(Clone, Debug)]
+pub struct DescScheme {
+    chunk_size: ChunkSize,
+    mode: SkipMode,
+    data: Vec<Wire>,
+    reset_skip: Wire,
+    sync: Wire,
+    /// Last chunk value transmitted on each wire (for `LastValue`).
+    last_values: Vec<u16>,
+    sync_enabled: bool,
+    last_stats: DescTransferStats,
+}
+
+impl DescScheme {
+    /// Creates a DESC interface with `wires` data wires, `chunk_size`
+    /// chunks and the given skip mode. The synchronization strobe is
+    /// enabled (the paper's asynchronous-cache configuration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `wires` is zero.
+    #[must_use]
+    pub fn new(wires: usize, chunk_size: ChunkSize, mode: SkipMode) -> Self {
+        assert!(wires > 0, "a DESC interface needs at least one data wire");
+        Self {
+            chunk_size,
+            mode,
+            data: vec![Wire::new(); wires],
+            reset_skip: Wire::new(),
+            sync: Wire::new(),
+            last_values: vec![0; wires],
+            sync_enabled: true,
+            last_stats: DescTransferStats::default(),
+        }
+    }
+
+    /// Disables the synchronization strobe (synchronous-cache
+    /// configuration where the clock distribution network is shared).
+    #[must_use]
+    pub fn without_sync_strobe(mut self) -> Self {
+        self.sync_enabled = false;
+        self
+    }
+
+    /// The configured skip mode.
+    #[must_use]
+    pub fn skip_mode(&self) -> SkipMode {
+        self.mode
+    }
+
+    /// The configured chunk size.
+    #[must_use]
+    pub fn chunk_size(&self) -> ChunkSize {
+        self.chunk_size
+    }
+
+    /// Number of data wires.
+    #[must_use]
+    pub fn wire_count(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Cumulative transitions per data wire since construction or the
+    /// last [`TransferScheme::reset`] — input for activity-balance
+    /// analysis ([`crate::analysis`]).
+    ///
+    /// [`TransferScheme::reset`]: crate::TransferScheme::reset
+    #[must_use]
+    pub fn wire_transitions(&self) -> Vec<u64> {
+        self.data.iter().map(crate::wire::Wire::transitions).collect()
+    }
+
+    /// Statistics for the most recent [`TransferScheme::transfer`] call.
+    #[must_use]
+    pub fn last_stats(&self) -> DescTransferStats {
+        self.last_stats
+    }
+
+    /// Transfers a pre-chunked payload (used by the ECC experiments,
+    /// where parity chunks extend the data chunks — paper §3.2.3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chunk size differs from the scheme's.
+    pub fn transfer_chunks(&mut self, chunks: &Chunks) -> TransferCost {
+        assert_eq!(
+            chunks.size(),
+            self.chunk_size,
+            "chunk size mismatch: payload {} vs scheme {}",
+            chunks.size(),
+            self.chunk_size
+        );
+        let assignment = WireAssignment::new(chunks.len(), self.data.len());
+        let mut cost = match self.mode {
+            SkipMode::None => self.transfer_basic(chunks, &assignment),
+            SkipMode::Zero | SkipMode::LastValue => self.transfer_skipped(chunks, &assignment),
+        };
+        if self.sync_enabled {
+            // One strobe edge per active cycle (§3.1).
+            for _ in 0..cost.cycles {
+                self.sync.toggle();
+            }
+            cost.sync_transitions = cost.cycles;
+        }
+        cost
+    }
+
+    /// Strobe position of value `v` within a window whose count list
+    /// excludes `skip` (1-based; paper Fig. 10-b).
+    fn position(v: u16, skip: Option<u16>) -> u64 {
+        match skip {
+            None => u64::from(v) + 1,
+            Some(s) => {
+                debug_assert_ne!(v, s, "skipped values have no strobe position");
+                if v < s {
+                    u64::from(v) + 1
+                } else {
+                    u64::from(v)
+                }
+            }
+        }
+    }
+
+    /// Basic DESC: chunks chain per wire; no shared windows.
+    fn transfer_basic(&mut self, chunks: &Chunks, assignment: &WireAssignment) -> TransferCost {
+        let mut cycles = 0u64;
+        for (w, wire) in self.data.iter_mut().enumerate() {
+            let mut wire_time = 0u64;
+            for r in 0..assignment.rounds() {
+                if let Some(i) = assignment.chunk_at(w, r) {
+                    let v = chunks.values()[i];
+                    wire_time += Self::position(v, None);
+                    wire.toggle();
+                    self.last_values[w] = v;
+                }
+            }
+            cycles = cycles.max(wire_time);
+        }
+        self.reset_skip.toggle();
+        self.last_stats = DescTransferStats {
+            skipped_chunks: 0,
+            strobed_chunks: chunks.len(),
+            rounds: assignment.rounds(),
+        };
+        TransferCost {
+            data_transitions: chunks.len() as u64,
+            control_transitions: 1,
+            sync_transitions: 0, // filled by the caller
+            cycles: cycles.max(1),
+        }
+    }
+
+    /// Skipped DESC: per-round windows delimited by the reset/skip wire.
+    ///
+    /// Each round boundary costs exactly one reset/skip toggle: a round
+    /// that ends with unfilled chunks is closed by a *skip* toggle,
+    /// which simultaneously serves as the next round's counter reset
+    /// (the paper's receiver already dispatches on "incomplete chunks
+    /// pending?" to tell skip from reset, §3.3); a round completed
+    /// purely by strobes is followed by a fresh reset toggle. The final
+    /// round pays a trailing skip toggle only if it skipped anything.
+    fn transfer_skipped(&mut self, chunks: &Chunks, assignment: &WireAssignment) -> TransferCost {
+        let mut cost = TransferCost::ZERO;
+        let mut stats = DescTransferStats { rounds: assignment.rounds(), ..Default::default() };
+        let mut last_round_skipped = false;
+        for r in 0..assignment.rounds() {
+            // One boundary toggle opens this round (either the previous
+            // round's skip toggle, reused, or a fresh reset toggle).
+            self.reset_skip.toggle();
+            cost.control_transitions += 1;
+
+            let mut max_pos = 0u64;
+            let mut any_skipped = false;
+            for w in 0..self.data.len() {
+                let Some(i) = assignment.chunk_at(w, r) else { continue };
+                let v = chunks.values()[i];
+                let skip_value = match self.mode {
+                    SkipMode::Zero => 0,
+                    SkipMode::LastValue => self.last_values[w],
+                    SkipMode::None => unreachable!("basic DESC uses transfer_basic"),
+                };
+                if v == skip_value {
+                    any_skipped = true;
+                    stats.skipped_chunks += 1;
+                } else {
+                    self.data[w].toggle();
+                    cost.data_transitions += 1;
+                    stats.strobed_chunks += 1;
+                    max_pos = max_pos.max(Self::position(v, Some(skip_value)));
+                }
+                self.last_values[w] = v;
+            }
+            cost.cycles += max_pos.max(1);
+            last_round_skipped = any_skipped;
+        }
+        if last_round_skipped {
+            // Trailing skip toggle fills the final round's pending
+            // chunk receivers with the skip value.
+            self.reset_skip.toggle();
+            cost.control_transitions += 1;
+        }
+        self.last_stats = stats;
+        cost
+    }
+}
+
+impl TransferScheme for DescScheme {
+    fn name(&self) -> &'static str {
+        self.mode.label()
+    }
+
+    fn wires(&self) -> WireBudget {
+        WireBudget {
+            data_wires: self.data.len(),
+            control_wires: 1, // shared reset/skip strobe
+            sync_wires: usize::from(self.sync_enabled),
+        }
+    }
+
+    fn transfer(&mut self, block: &Block) -> TransferCost {
+        let chunks = Chunks::split(block, self.chunk_size);
+        self.transfer_chunks(&chunks)
+    }
+
+    fn reset(&mut self) {
+        let n = self.data.len();
+        self.data = vec![Wire::new(); n];
+        self.reset_skip = Wire::new();
+        self.sync = Wire::new();
+        self.last_values = vec![0; n];
+        self.last_stats = DescTransferStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c4() -> ChunkSize {
+        ChunkSize::new(4).unwrap()
+    }
+
+    /// Paper Fig. 3-c: the byte 01010011 over two data wires with basic
+    /// DESC costs three bit-flips across the reset and data wires.
+    #[test]
+    fn fig3c_example() {
+        let mut s = DescScheme::new(2, c4(), SkipMode::None).without_sync_strobe();
+        let cost = s.transfer(&Block::from_bytes(&[0b0101_0011]));
+        assert_eq!(cost.data_transitions, 2);
+        assert_eq!(cost.control_transitions, 1);
+        assert_eq!(cost.sync_transitions, 0);
+        // Chunks 0x3 and 0x5 in parallel: max(3+1, 5+1) = 6 cycles.
+        assert_eq!(cost.cycles, 6);
+    }
+
+    /// Paper Fig. 5: two 3-bit chunks (2 then 1) on one wire take
+    /// 3 + 2 = 5 cycles.
+    #[test]
+    fn fig5_example() {
+        let mut s = DescScheme::new(1, ChunkSize::new(3).unwrap(), SkipMode::None)
+            .without_sync_strobe();
+        // Values 2 and 1 LSB-first: bits 010 100 → byte 0b00_001_010 = 0x0A.
+        let block = Block::from_bytes(&[0b0000_1010]);
+        let chunks = Chunks::split(&block, ChunkSize::new(3).unwrap());
+        assert_eq!(&chunks.values()[..2], &[2, 1]);
+        let cost = s.transfer(&block);
+        // 3 chunks total in one byte (last padded 0, +1 cycle).
+        assert_eq!(cost.cycles, 3 + 2 + 1);
+        assert_eq!(cost.data_transitions, 3);
+    }
+
+    /// Paper Fig. 10: chunks (0, 0, 5, 0) on four wires; basic costs
+    /// five bit-flips in a 6-cycle window, zero-skipped three bit-flips
+    /// in a 5-cycle window.
+    #[test]
+    fn fig10_basic_vs_zero_skipped() {
+        // Build a block holding nibbles 0,0,5,0.
+        let mut block = Block::zeroed(2);
+        block.set_bits(8, 4, 5);
+
+        let mut basic = DescScheme::new(4, c4(), SkipMode::None).without_sync_strobe();
+        let b = basic.transfer(&block);
+        assert_eq!(b.total_transitions(), 5);
+        assert_eq!(b.cycles, 6);
+
+        let mut zs = DescScheme::new(4, c4(), SkipMode::Zero).without_sync_strobe();
+        let z = zs.transfer(&block);
+        assert_eq!(z.total_transitions(), 3);
+        assert_eq!(z.cycles, 5);
+        assert_eq!(zs.last_stats().skipped_chunks, 3);
+    }
+
+    #[test]
+    fn basic_desc_transitions_independent_of_data() {
+        // The headline property: any two blocks cost identical
+        // transitions under basic DESC.
+        let mut s = DescScheme::new(128, c4(), SkipMode::None);
+        let a = s.transfer(&Block::from_bytes(&[0xFF; 64]));
+        let b = s.transfer(&Block::from_bytes(&[0x00; 64]));
+        let c = s.transfer(&Block::from_bytes(&[0x5A; 64]));
+        assert_eq!(a.data_transitions, 128);
+        assert_eq!(a.data_transitions, b.data_transitions);
+        assert_eq!(b.data_transitions, c.data_transitions);
+        assert_eq!(a.control_transitions, 1);
+    }
+
+    #[test]
+    fn null_block_nearly_free_with_zero_skipping() {
+        let mut s = DescScheme::new(128, c4(), SkipMode::Zero).without_sync_strobe();
+        let cost = s.transfer(&Block::zeroed(64));
+        assert_eq!(cost.data_transitions, 0);
+        assert_eq!(cost.control_transitions, 2); // open + close
+        assert_eq!(cost.cycles, 1);
+    }
+
+    #[test]
+    fn last_value_skipping_makes_repeats_free() {
+        let mut s = DescScheme::new(128, c4(), SkipMode::LastValue).without_sync_strobe();
+        let block = Block::from_bytes(&[0xC3; 64]);
+        let first = s.transfer(&block);
+        assert!(first.data_transitions > 0);
+        let second = s.transfer(&block);
+        assert_eq!(second.data_transitions, 0);
+        assert_eq!(s.last_stats().skipped_chunks, 128);
+    }
+
+    #[test]
+    fn multi_round_transfer_uses_windows_per_round() {
+        // 128 chunks over 64 wires → 2 rounds.
+        let mut s = DescScheme::new(64, c4(), SkipMode::Zero).without_sync_strobe();
+        let cost = s.transfer(&Block::from_bytes(&[0xFF; 64]));
+        assert_eq!(s.last_stats().rounds, 2);
+        // All chunks are 0xF: strobes at position 15 in both rounds.
+        assert_eq!(cost.cycles, 30);
+        assert_eq!(cost.data_transitions, 128);
+        assert_eq!(cost.control_transitions, 2); // one open per round, no skips
+    }
+
+    #[test]
+    fn skip_value_excluded_from_count_list() {
+        // Last-value skip with last=7: value 3 strobes at 4, value 9 at 9.
+        assert_eq!(DescScheme::position(3, Some(7)), 4);
+        assert_eq!(DescScheme::position(9, Some(7)), 9);
+        assert_eq!(DescScheme::position(15, Some(0)), 15);
+        assert_eq!(DescScheme::position(15, None), 16);
+    }
+
+    #[test]
+    fn sync_strobe_toggles_once_per_cycle() {
+        let mut s = DescScheme::new(128, c4(), SkipMode::Zero);
+        let cost = s.transfer(&Block::from_bytes(&[0x11; 64]));
+        assert_eq!(cost.sync_transitions, cost.cycles);
+    }
+
+    #[test]
+    fn zero_skipped_window_shrinks_versus_basic() {
+        // Max chunk value 15 with zero skip strobes at 15 (not 16).
+        let block = Block::from_bytes(&[0xFF; 64]);
+        let mut zs = DescScheme::new(128, c4(), SkipMode::Zero).without_sync_strobe();
+        let mut basic = DescScheme::new(128, c4(), SkipMode::None).without_sync_strobe();
+        assert_eq!(zs.transfer(&block).cycles, 15);
+        assert_eq!(basic.transfer(&block).cycles, 16);
+    }
+
+    #[test]
+    fn paper_configuration_wire_budget() {
+        let s = DescScheme::new(128, c4(), SkipMode::Zero);
+        let w = s.wires();
+        assert_eq!(w.data_wires, 128);
+        assert_eq!(w.control_wires, 1);
+        assert_eq!(w.sync_wires, 1);
+        assert_eq!(w.total(), 130);
+    }
+
+    #[test]
+    fn reset_clears_last_values_and_wires() {
+        let mut s = DescScheme::new(8, c4(), SkipMode::LastValue).without_sync_strobe();
+        let block = Block::from_bytes(&[0xAB, 0xCD, 0xEF, 0x12]);
+        let first = s.transfer(&block);
+        s.transfer(&block);
+        s.reset();
+        assert_eq!(s.transfer(&block), first);
+    }
+
+    #[test]
+    fn one_bit_chunks_degenerate_correctly() {
+        // 1-bit chunks with zero skipping: only set bits strobe, at
+        // position 1; every round lasts exactly 1 cycle.
+        let mut s = DescScheme::new(8, ChunkSize::new(1).unwrap(), SkipMode::Zero)
+            .without_sync_strobe();
+        let cost = s.transfer(&Block::from_bytes(&[0b0101_0011]));
+        assert_eq!(cost.data_transitions, 4);
+        assert_eq!(cost.cycles, 1);
+    }
+
+    #[test]
+    fn eight_bit_chunks_have_long_windows() {
+        let mut s = DescScheme::new(64, ChunkSize::new(8).unwrap(), SkipMode::Zero)
+            .without_sync_strobe();
+        let cost = s.transfer(&Block::from_bytes(&[0xFF; 64]));
+        // 64 chunks of value 255 on 64 wires: one round, window 255.
+        assert_eq!(cost.cycles, 255);
+        assert_eq!(cost.data_transitions, 64);
+    }
+}

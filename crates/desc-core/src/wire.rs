@@ -1,0 +1,265 @@
+//! Per-wire toggle state and exact transition accounting.
+//!
+//! All of the paper's energy results are functions of the number of
+//! state transitions on each class of interconnect wire, so this module
+//! is deliberately boring and exact: a [`Wire`] remembers its logic
+//! level and counts every flip; a [`Bus`] is an ordered set of wires
+//! driven with multi-bit values.
+
+/// The role a wire plays, used to attribute transitions to the right
+/// hardware when costing a transfer (paper Figs. 3, 6, 10).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum WireClass {
+    /// A data wire of the bus (chunk strobes in DESC, data bits in
+    /// binary encoding).
+    Data,
+    /// The shared reset / skip strobe wire (DESC).
+    ResetSkip,
+    /// The synchronization strobe carrying clock information (DESC on
+    /// asynchronous caches, §3.1 "Synchronization").
+    Sync,
+    /// Per-segment control wires of the baseline schemes (bus-invert
+    /// polarity wires, zero-indicator wires, encoded mode wires).
+    Control,
+}
+
+/// A single wire with persistent logic state and a transition counter.
+///
+/// # Examples
+///
+/// ```
+/// use desc_core::wire::Wire;
+///
+/// let mut w = Wire::new();
+/// w.drive(true);
+/// w.drive(true);  // no transition: level unchanged
+/// w.toggle();
+/// assert_eq!(w.transitions(), 2);
+/// assert_eq!(w.level(), false);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Wire {
+    level: bool,
+    transitions: u64,
+}
+
+impl Wire {
+    /// A new wire holding logic zero (the paper's examples assume all
+    /// wires hold zeroes before the first transmission).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current logic level.
+    #[must_use]
+    pub fn level(&self) -> bool {
+        self.level
+    }
+
+    /// Total transitions since construction (or the last
+    /// [`Wire::clear_transitions`]).
+    #[must_use]
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+
+    /// Drives the wire to `level`, counting a transition if it changes.
+    /// Returns `true` if a transition occurred.
+    pub fn drive(&mut self, level: bool) -> bool {
+        if self.level != level {
+            self.level = level;
+            self.transitions += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Inverts the wire level (always one transition).
+    pub fn toggle(&mut self) {
+        self.level = !self.level;
+        self.transitions += 1;
+    }
+
+    /// Resets the transition counter without touching the level, so
+    /// per-block costs can be read from long-lived wire state.
+    pub fn clear_transitions(&mut self) {
+        self.transitions = 0;
+    }
+}
+
+/// An ordered group of wires driven with multi-bit values.
+///
+/// Bit `k` of a driven value goes to wire `k`.
+///
+/// # Examples
+///
+/// ```
+/// use desc_core::wire::Bus;
+///
+/// let mut bus = Bus::new(8);
+/// let flips = bus.drive(0b0101_0011);
+/// assert_eq!(flips, 4); // paper Fig. 3-a: 4 bit-flips from all-zero
+/// assert_eq!(bus.drive(0b0101_0011), 0);
+/// assert_eq!(bus.transitions(), 4);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Bus {
+    wires: Vec<Wire>,
+}
+
+impl Bus {
+    /// Creates a bus of `width` wires, all at logic zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or greater than 64.
+    #[must_use]
+    pub fn new(width: usize) -> Self {
+        assert!(width > 0 && width <= 64, "bus width {width} out of range (1–64)");
+        Self { wires: vec![Wire::new(); width] }
+    }
+
+    /// Bus width in wires.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.wires.len()
+    }
+
+    /// Current value on the bus (wire `k` → bit `k`).
+    #[must_use]
+    pub fn value(&self) -> u64 {
+        self.wires
+            .iter()
+            .enumerate()
+            .fold(0, |acc, (k, w)| acc | (u64::from(w.level()) << k))
+    }
+
+    /// Drives all wires with `value`, returning the number of wires that
+    /// flipped. Bits of `value` above the bus width must be zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` has bits set beyond the bus width.
+    pub fn drive(&mut self, value: u64) -> u32 {
+        if self.width() < 64 {
+            assert!(
+                value >> self.width() == 0,
+                "value {value:#x} exceeds {}-wire bus",
+                self.width()
+            );
+        }
+        let mut flips = 0;
+        for (k, w) in self.wires.iter_mut().enumerate() {
+            if w.drive((value >> k) & 1 == 1) {
+                flips += 1;
+            }
+        }
+        flips
+    }
+
+    /// Drives the bus with the bitwise complement of `value` within the
+    /// bus width (used by bus-invert coding). Returns flips.
+    pub fn drive_inverted(&mut self, value: u64) -> u32 {
+        let mask = if self.width() == 64 { u64::MAX } else { (1u64 << self.width()) - 1 };
+        self.drive(!value & mask)
+    }
+
+    /// Flips that driving `value` *would* cost, without driving.
+    #[must_use]
+    pub fn flips_to(&self, value: u64) -> u32 {
+        (self.value() ^ value).count_ones()
+    }
+
+    /// Total transitions across all wires.
+    #[must_use]
+    pub fn transitions(&self) -> u64 {
+        self.wires.iter().map(Wire::transitions).sum()
+    }
+
+    /// Clears all per-wire transition counters.
+    pub fn clear_transitions(&mut self) {
+        for w in &mut self.wires {
+            w.clear_transitions();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_counts_only_real_transitions() {
+        let mut w = Wire::new();
+        assert!(!w.level());
+        assert!(w.drive(true));
+        assert!(!w.drive(true));
+        assert!(w.drive(false));
+        assert_eq!(w.transitions(), 2);
+        w.clear_transitions();
+        assert_eq!(w.transitions(), 0);
+        assert!(!w.level());
+    }
+
+    #[test]
+    fn toggle_always_transitions() {
+        let mut w = Wire::new();
+        w.toggle();
+        w.toggle();
+        w.toggle();
+        assert_eq!(w.transitions(), 3);
+        assert!(w.level());
+    }
+
+    #[test]
+    fn bus_drive_counts_hamming_flips() {
+        let mut bus = Bus::new(8);
+        assert_eq!(bus.drive(0xFF), 8);
+        assert_eq!(bus.drive(0x0F), 4);
+        assert_eq!(bus.transitions(), 12);
+    }
+
+    #[test]
+    fn bus_value_reflects_levels() {
+        let mut bus = Bus::new(4);
+        bus.drive(0b1010);
+        assert_eq!(bus.value(), 0b1010);
+    }
+
+    #[test]
+    fn flips_to_predicts_drive() {
+        let mut bus = Bus::new(16);
+        bus.drive(0xABCD);
+        let predicted = bus.flips_to(0x1234);
+        assert_eq!(bus.drive(0x1234), predicted);
+    }
+
+    #[test]
+    fn drive_inverted_complements_within_width() {
+        let mut bus = Bus::new(4);
+        bus.drive_inverted(0b0011);
+        assert_eq!(bus.value(), 0b1100);
+    }
+
+    #[test]
+    fn full_width_bus_accepts_any_value() {
+        let mut bus = Bus::new(64);
+        assert_eq!(bus.drive(u64::MAX), 64);
+        assert_eq!(bus.value(), u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn bus_rejects_oversized_values() {
+        let mut bus = Bus::new(4);
+        bus.drive(0x10);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bus_rejects_zero_width() {
+        let _ = Bus::new(0);
+    }
+}

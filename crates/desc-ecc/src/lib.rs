@@ -1,0 +1,32 @@
+//! # desc-ecc
+//!
+//! SECDED (single-error-correction, double-error-detection) Hamming
+//! codes and the DESC-compatible interleaved parity layout of the
+//! paper's §3.2.3 / Fig. 9.
+//!
+//! DESC transfers a 4-bit chunk with a *single* wire transition, so one
+//! H-tree error can corrupt up to four bits at once. The paper keeps
+//! conventional SECDED usable by interleaving: a 512-bit cache block is
+//! split into four 128-bit segments, each protected by a (137,128)
+//! Hamming code, and chunks are laid out so that every chunk carries at
+//! most one bit *per segment*. One corrupted chunk therefore injects at
+//! most one error into each segment — which SECDED corrects — and two
+//! corrupted chunks inject at most two per segment — which SECDED
+//! detects.
+//!
+//! * [`secded`] — generic SECDED construction plus the paper's
+//!   (72,64) and (137,128) instances.
+//! * [`interleave`] — the Fig. 9 chunk layout and its guarantees.
+//! * [`inject`] — fault-injection helpers used by tests and the
+//!   Fig. 28/29 experiments.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod inject;
+pub mod interleave;
+pub mod scheme;
+pub mod secded;
+
+pub use interleave::InterleavedBlock;
+pub use secded::{DecodeOutcome, SecdedCode};

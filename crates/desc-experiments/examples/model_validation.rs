@@ -1,0 +1,32 @@
+//! Per-application model-validation dump: miss rates, static-energy
+//! shares, and execution windows under the binary baseline — the
+//! quantities that must stay physically plausible for the figure
+//! reproductions to be meaningful.
+//!
+//! ```text
+//! cargo run --release -p desc-experiments --example model_validation
+//! ```
+
+use desc_core::schemes::SchemeKind;
+use desc_experiments::common::{run_app, Scale};
+use desc_workloads::parallel_suite;
+
+fn main() {
+    let scale = Scale { accesses: 15_000, apps: 16, seed: 2013 };
+    println!(
+        "{:<16} {:>6} {:>12} {:>12} {:>12} {:>10}",
+        "app", "miss", "static frac", "htree frac", "flips/block", "exec (us)"
+    );
+    for p in parallel_suite() {
+        let r = run_app(SchemeKind::ConventionalBinary, &p, &scale);
+        println!(
+            "{:<16} {:>6.2} {:>12.2} {:>12.2} {:>12.0} {:>10.1}",
+            p.name,
+            r.result.miss_rate(),
+            r.l2.static_j / r.l2.total(),
+            r.l2.htree_dynamic_j / r.l2.total(),
+            r.result.activity.htree_transitions as f64 / r.result.transfer.blocks() as f64,
+            r.result.exec_time_s * 1e6,
+        );
+    }
+}

@@ -1,0 +1,87 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro fig16 fig20        # specific experiments
+//! repro all                # everything, full scale
+//! repro --quick all        # everything, reduced scale
+//! repro --list             # available experiment names
+//! ```
+
+use desc_experiments::{experiment_names, run_experiment, Scale};
+use std::process::ExitCode;
+use std::time::Instant;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::full();
+    let mut names: Vec<String> = Vec::new();
+    let mut csv = false;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" | "-q" => scale = Scale::quick(),
+            "--csv" => csv = true,
+            "--tiny" => scale = Scale::tiny(),
+            "--seed" => match iter.next().map(|v| v.parse::<u64>()) {
+                Some(Ok(seed)) => scale.seed = seed,
+                _ => {
+                    eprintln!("--seed needs an integer argument");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--accesses" => match iter.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) if n > 0 => scale.accesses = n,
+                _ => {
+                    eprintln!("--accesses needs a positive integer argument");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--apps" => match iter.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) if (1..=16).contains(&n) => scale.apps = n,
+                _ => {
+                    eprintln!("--apps needs an integer in 1..=16");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--list" | "-l" => {
+                for n in experiment_names() {
+                    println!("{n}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro [--quick|--tiny] [--csv] [--seed N] [--accesses N] [--apps N] \
+                     <experiment...|all>\n\
+                     experiments: {}",
+                    experiment_names().join(" ")
+                );
+                return ExitCode::SUCCESS;
+            }
+            "all" => names.extend(experiment_names().iter().map(|s| (*s).to_owned())),
+            other => names.push(other.to_owned()),
+        }
+    }
+    if names.is_empty() {
+        eprintln!("no experiments requested; try `repro --help`");
+        return ExitCode::FAILURE;
+    }
+    let known = experiment_names();
+    for name in &names {
+        if !known.contains(&name.as_str()) {
+            eprintln!("unknown experiment {name:?}; try `repro --list`");
+            return ExitCode::FAILURE;
+        }
+    }
+    for name in &names {
+        let started = Instant::now();
+        let table = run_experiment(name, &scale);
+        if csv {
+            print!("{}", table.to_csv());
+        } else {
+            println!("{table}");
+            println!("[{name} completed in {:.1}s]\n", started.elapsed().as_secs_f64());
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,181 @@
+//! Shared experiment plumbing: run scales, scheme wire budgets, and
+//! the simulation → energy → processor pipeline.
+
+use desc_cacti::cache::CacheModel;
+use desc_cacti::EnergyBreakdown;
+use desc_core::schemes::SchemeKind;
+use desc_core::TransferScheme;
+use desc_mcpat::{ProcessorConfig, ProcessorEnergy};
+use desc_sim::{CoreModel, SimConfig, SimResult, SystemSim};
+use desc_workloads::{parallel_suite, BenchmarkProfile};
+
+/// How much simulation an experiment runs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Scale {
+    /// L2 accesses simulated per (app, configuration) pair.
+    pub accesses: usize,
+    /// How many of the 16 parallel apps to use (figure rows shrink
+    /// accordingly; geomeans stay geomeans).
+    pub apps: usize,
+    /// Master seed for all deterministic generators.
+    pub seed: u64,
+}
+
+impl Scale {
+    /// Full reproduction scale (all apps, 20 000 accesses each).
+    #[must_use]
+    pub fn full() -> Self {
+        Self { accesses: 20_000, apps: 16, seed: 2013 }
+    }
+
+    /// Reduced scale for interactive runs and benches.
+    #[must_use]
+    pub fn quick() -> Self {
+        Self { accesses: 4_000, apps: 4, seed: 2013 }
+    }
+
+    /// Minimal scale for unit tests.
+    #[must_use]
+    pub fn tiny() -> Self {
+        Self { accesses: 800, apps: 2, seed: 2013 }
+    }
+
+    /// The parallel-suite subset selected by this scale.
+    #[must_use]
+    pub fn suite(&self) -> Vec<BenchmarkProfile> {
+        parallel_suite().into_iter().take(self.apps.max(1)).collect()
+    }
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Self::full()
+    }
+}
+
+/// Total physical wires a scheme occupies in its paper configuration
+/// (data + control + sync), used to size the H-tree for leakage and
+/// area accounting.
+#[must_use]
+pub fn scheme_total_wires(kind: SchemeKind) -> usize {
+    kind.build_paper_config().wires().total()
+}
+
+/// Multiplier on L2 leakage power from a scheme's extra circuitry:
+/// the synthesized DESC interfaces add ≈3% static energy (paper
+/// Fig. 18 discussion); the extra-wire baselines add a token 0.5%.
+#[must_use]
+pub fn scheme_static_overhead(kind: SchemeKind) -> f64 {
+    if kind.is_desc() {
+        1.03
+    } else if kind == SchemeKind::ConventionalBinary {
+        1.0
+    } else {
+        1.005
+    }
+}
+
+/// Outcome of simulating one app under one scheme: raw sim result, the
+/// priced L2 energy, and the processor roll-up.
+#[derive(Clone, Debug)]
+pub struct AppRun {
+    /// Simulation measurements.
+    pub result: SimResult,
+    /// L2 energy breakdown over the simulated window.
+    pub l2: EnergyBreakdown,
+    /// Processor-level roll-up.
+    pub processor: ProcessorEnergy,
+}
+
+impl AppRun {
+    /// Total L2 energy in joules.
+    #[must_use]
+    pub fn l2_energy(&self) -> f64 {
+        self.l2.total()
+    }
+}
+
+/// Simulates `profile` under `scheme` on `config`, prices the
+/// activity, and rolls up processor energy. `static_overhead`
+/// multiplies L2 leakage (see [`scheme_static_overhead`]).
+#[must_use]
+pub fn run_custom(
+    scheme: Box<dyn TransferScheme>,
+    mut config: SimConfig,
+    profile: &BenchmarkProfile,
+    scale: &Scale,
+    static_overhead: f64,
+) -> AppRun {
+    config.l2.bus_width_bits = scheme.wires().total();
+    let sim = SystemSim::new(config, *profile, scale.seed);
+    let result = sim.run(scheme, scale.accesses);
+    let model = CacheModel::new(config.l2);
+    let mut l2 = model.energy_for(&result.activity);
+    l2.static_j *= static_overhead;
+    let proc_cfg = match config.core {
+        CoreModel::Throughput { .. } => ProcessorConfig::niagara_like(),
+        CoreModel::OutOfOrder { .. } => ProcessorConfig::out_of_order(),
+    };
+    let processor = proc_cfg.roll_up(
+        result.instructions,
+        result.exec_time_s,
+        l2,
+        result.misses + result.writebacks,
+    );
+    AppRun { result, l2, processor }
+}
+
+/// Simulates `profile` under a paper-configured scheme on the paper's
+/// multithreaded machine.
+#[must_use]
+pub fn run_app(kind: SchemeKind, profile: &BenchmarkProfile, scale: &Scale) -> AppRun {
+    run_custom(
+        kind.build_paper_config(),
+        SimConfig::paper_multithreaded(),
+        profile,
+        scale,
+        scheme_static_overhead(kind),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use desc_workloads::BenchmarkId;
+
+    #[test]
+    fn scales_are_ordered() {
+        assert!(Scale::tiny().accesses < Scale::quick().accesses);
+        assert!(Scale::quick().accesses < Scale::full().accesses);
+        assert_eq!(Scale::full().suite().len(), 16);
+        assert_eq!(Scale::quick().suite().len(), 4);
+    }
+
+    #[test]
+    fn wire_budgets_match_paper_configs() {
+        assert_eq!(scheme_total_wires(SchemeKind::ConventionalBinary), 64);
+        assert_eq!(scheme_total_wires(SchemeKind::DynamicZeroCompression), 72);
+        assert_eq!(scheme_total_wires(SchemeKind::BusInvertCoding), 66);
+        assert_eq!(scheme_total_wires(SchemeKind::ZeroSkippedBusInvert), 68);
+        assert_eq!(scheme_total_wires(SchemeKind::ZeroSkippedDesc), 130);
+    }
+
+    #[test]
+    fn desc_pays_static_overhead() {
+        assert!(scheme_static_overhead(SchemeKind::ZeroSkippedDesc) > 1.02);
+        assert_eq!(scheme_static_overhead(SchemeKind::ConventionalBinary), 1.0);
+    }
+
+    #[test]
+    fn run_app_produces_consistent_energy() {
+        let scale = Scale::tiny();
+        let run = run_app(
+            SchemeKind::ZeroSkippedDesc,
+            &BenchmarkId::Radix.profile(),
+            &scale,
+        );
+        assert!(run.l2_energy() > 0.0);
+        assert!(run.processor.l2_fraction() > 0.0 && run.processor.l2_fraction() < 1.0);
+        assert_eq!(run.result.accesses, scale.accesses as u64);
+    }
+}

@@ -1,0 +1,57 @@
+//! Fig. 2: major components of L2 energy under the baseline binary
+//! configuration (paper: H-tree dynamic ≈ 80% on average with LSTP
+//! devices).
+
+use crate::common::{run_app, Scale};
+use crate::table::{r3, Table};
+use desc_core::schemes::SchemeKind;
+
+/// Runs the experiment.
+#[must_use]
+pub fn run(scale: &Scale) -> Table {
+    let mut t = Table::new(
+        "Fig. 2: components of L2 cache energy (binary baseline)",
+        &["App", "Static", "Other dynamic", "H-tree dynamic"],
+    );
+    let mut static_sum = 0.0;
+    let mut array_sum = 0.0;
+    let mut htree_sum = 0.0;
+    for p in scale.suite() {
+        let run = run_app(SchemeKind::ConventionalBinary, &p, scale);
+        let total = run.l2.total();
+        t.row_owned(vec![
+            p.name.into(),
+            r3(run.l2.static_j / total),
+            r3(run.l2.array_dynamic_j / total),
+            r3(run.l2.htree_dynamic_j / total),
+        ]);
+        static_sum += run.l2.static_j;
+        array_sum += run.l2.array_dynamic_j;
+        htree_sum += run.l2.htree_dynamic_j;
+    }
+    let total = static_sum + array_sum + htree_sum;
+    t.row_owned(vec![
+        "Average".into(),
+        r3(static_sum / total),
+        r3(array_sum / total),
+        r3(htree_sum / total),
+    ]);
+    t.note("paper average: H-tree ≈ 0.80 of L2 energy");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn htree_dominates() {
+        let t = run(&Scale { accesses: 2_000, apps: 3, seed: 1 });
+        let last = t.row_count() - 1;
+        let htree: f64 = t.cell(last, 3).expect("avg").parse().expect("number");
+        assert!((0.6..=0.92).contains(&htree), "H-tree share {htree}");
+        let s: f64 = t.cell(last, 1).expect("static").parse().expect("number");
+        let a: f64 = t.cell(last, 2).expect("array").parse().expect("number");
+        assert!((s + a + htree - 1.0).abs() < 0.01);
+    }
+}

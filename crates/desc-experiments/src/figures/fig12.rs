@@ -1,0 +1,47 @@
+//! Fig. 12: distribution of four-bit chunk values transferred between
+//! the L2 controller and the data arrays (paper: ≈31% zeros, roughly
+//! uniform non-zero tail).
+
+use crate::common::Scale;
+use crate::table::{r3, Table};
+use desc_workloads::ChunkStats;
+
+/// Runs the experiment.
+#[must_use]
+pub fn run(scale: &Scale) -> Table {
+    let blocks = (scale.accesses / 4).max(200);
+    let mut totals = [0.0f64; 16];
+    let suite = scale.suite();
+    for p in &suite {
+        let stats = ChunkStats::measure_stream(&mut p.value_stream(scale.seed), blocks);
+        for (i, f) in stats.frequencies().iter().enumerate() {
+            totals[i] += f;
+        }
+    }
+    let mut t = Table::new(
+        "Fig. 12: average frequency of transferred 4-bit chunk values",
+        &["Chunk value", "Frequency"],
+    );
+    for (i, sum) in totals.iter().enumerate() {
+        t.row_owned(vec![i.to_string(), r3(sum / suite.len() as f64)]);
+    }
+    t.note("paper: value 0 ≈ 0.31; non-zero values roughly uniform");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_bin_dominates() {
+        let t = run(&Scale { accesses: 2_000, apps: 6, seed: 1 });
+        assert_eq!(t.row_count(), 16);
+        let zero: f64 = t.cell(0, 1).expect("zero bin").parse().expect("number");
+        assert!((0.2..=0.45).contains(&zero), "zero frequency {zero}");
+        for v in 1..16 {
+            let f: f64 = t.cell(v, 1).expect("bin").parse().expect("number");
+            assert!(f < zero, "value {v} frequency {f} exceeds the zero bin");
+        }
+    }
+}

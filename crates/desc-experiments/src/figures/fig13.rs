@@ -1,0 +1,39 @@
+//! Fig. 13: fraction of chunks that match the previously transmitted
+//! chunk on their wire (paper geomean ≈ 0.39).
+
+use crate::common::Scale;
+use crate::table::{geomean, r3, Table};
+use desc_workloads::ChunkStats;
+
+/// Runs the experiment.
+#[must_use]
+pub fn run(scale: &Scale) -> Table {
+    let blocks = (scale.accesses / 4).max(200);
+    let mut t = Table::new(
+        "Fig. 13: fraction of chunks matching the previous chunk on their wire",
+        &["App", "Repeat fraction"],
+    );
+    let mut fractions = Vec::new();
+    for p in scale.suite() {
+        let stats = ChunkStats::measure_stream(&mut p.value_stream(scale.seed), blocks);
+        let f = stats.repeat_fraction().max(1e-6);
+        fractions.push(f);
+        t.row_owned(vec![p.name.into(), r3(f)]);
+    }
+    t.row_owned(vec!["Geomean".into(), r3(geomean(&fractions))]);
+    t.note("paper geomean ≈ 0.39");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_is_in_band() {
+        let t = run(&Scale { accesses: 2_000, apps: 8, seed: 1 });
+        let last = t.row_count() - 1;
+        let g: f64 = t.cell(last, 1).expect("geomean").parse().expect("number");
+        assert!((0.25..=0.55).contains(&g), "repeat geomean {g}");
+    }
+}

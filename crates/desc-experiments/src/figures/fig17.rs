@@ -1,0 +1,44 @@
+//! Fig. 17: synthesis results for the DESC transmitter and receiver
+//! (area, peak power, delay) for a 128-chunk interface.
+
+use crate::table::Table;
+use desc_core::synthesis::DescInterfaceModel;
+
+/// Runs the experiment (pure model, no scale).
+#[must_use]
+pub fn run() -> Table {
+    let m = DescInterfaceModel::paper_default();
+    let tx = m.transmitter();
+    let rx = m.receiver();
+    let both = m.interface();
+    let mut t = Table::new(
+        "Fig. 17: DESC transmitter/receiver synthesis estimates (128 chunks, 22nm)",
+        &["Block", "Area (um2)", "Peak power (mW)", "Delay (ns)"],
+    );
+    for (name, e) in [("Transmitter", tx), ("Receiver", rx), ("TX+RX", both)] {
+        t.row_owned(vec![
+            name.into(),
+            format!("{:.0}", e.area_um2),
+            format!("{:.1}", e.peak_power_mw),
+            format!("{:.3}", e.delay_ns),
+        ]);
+    }
+    t.note("paper: interface 2120 um2, 46 mW peak, 625 ps added round-trip delay");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_near_paper() {
+        let t = run();
+        let area: f64 = t.cell(2, 1).expect("area").parse().expect("number");
+        let power: f64 = t.cell(2, 2).expect("power").parse().expect("number");
+        let delay: f64 = t.cell(2, 3).expect("delay").parse().expect("number");
+        assert!((1600.0..=2700.0).contains(&area), "area {area}");
+        assert!((35.0..=58.0).contains(&power), "power {power}");
+        assert!((0.45..=0.8).contains(&delay), "delay {delay}");
+    }
+}

@@ -1,0 +1,89 @@
+//! Fig. 22: the cache design space (energy vs execution time) opened
+//! up by DESC, sweeping banks and bus widths for conventional binary
+//! and zero-skipped DESC, normalised to the 8-bank 64-bit binary
+//! baseline. Paper: DESC points push the energy frontier left without
+//! significantly increasing access latency.
+
+use crate::common::{run_custom, Scale};
+use crate::table::{r2, Table};
+use desc_core::schemes::{BinaryScheme, DescScheme, SkipMode};
+use desc_core::{ChunkSize, TransferScheme};
+use desc_sim::SimConfig;
+
+/// Sweep points: (banks, data wires).
+pub const POINTS: [(usize, usize); 9] = [
+    (2, 64),
+    (8, 32),
+    (8, 64),
+    (8, 128),
+    (8, 256),
+    (32, 64),
+    (32, 128),
+    (2, 128),
+    (32, 256),
+];
+
+fn measure(scale: &Scale, banks: usize, wires: usize, desc: bool) -> (f64, f64) {
+    let mut cfg = SimConfig::paper_multithreaded();
+    cfg.l2.banks = banks;
+    let mut energy = 0.0;
+    let mut time = 0.0;
+    for p in scale.suite() {
+        let scheme: Box<dyn TransferScheme> = if desc {
+            Box::new(DescScheme::new(wires, ChunkSize::PAPER_DEFAULT, SkipMode::Zero))
+        } else {
+            Box::new(BinaryScheme::new(wires))
+        };
+        let overhead = if desc { 1.03 } else { 1.0 };
+        let run = run_custom(scheme, cfg, &p, scale, overhead);
+        energy += run.l2_energy();
+        time += run.result.exec_time_s;
+    }
+    (energy, time)
+}
+
+/// Runs the experiment.
+#[must_use]
+pub fn run(scale: &Scale) -> Table {
+    let (base_e, base_t) = measure(scale, 8, 64, false);
+    let mut t = Table::new(
+        "Fig. 22: design space — L2 energy vs execution time (normalised to 8 banks, 64-bit binary)",
+        &["Scheme", "Banks", "Wires", "L2 energy", "Exec time"],
+    );
+    for desc in [false, true] {
+        for (banks, wires) in POINTS {
+            let (e, x) = measure(scale, banks, wires, desc);
+            t.row_owned(vec![
+                if desc { "Zero-skip DESC" } else { "Binary" }.into(),
+                banks.to_string(),
+                wires.to_string(),
+                r2(e / base_e),
+                r2(x / base_t),
+            ]);
+        }
+    }
+    t.note("paper: DESC opens lower-energy design points at similar execution time");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn desc_frontier_dominates_on_energy() {
+        let scale = Scale { accesses: 1_200, apps: 2, seed: 1 };
+        let t = run(&scale);
+        assert_eq!(t.row_count(), 2 * POINTS.len());
+        // Best DESC energy beats best binary energy.
+        let energy = |row: usize| -> f64 {
+            t.cell(row, 3).expect("energy").parse().expect("number")
+        };
+        let best_binary =
+            (0..POINTS.len()).map(energy).fold(f64::INFINITY, f64::min);
+        let best_desc = (POINTS.len()..2 * POINTS.len())
+            .map(energy)
+            .fold(f64::INFINITY, f64::min);
+        assert!(best_desc < best_binary, "DESC {best_desc} vs binary {best_binary}");
+    }
+}

@@ -1,0 +1,42 @@
+//! Fig. 23: execution time of zero-skipped DESC on an 8 MB S-NUCA-1
+//! cache, normalised to binary S-NUCA-1 (paper: ≈1% penalty).
+
+use crate::common::Scale;
+use crate::table::{geomean, r3, Table};
+use desc_core::schemes::SchemeKind;
+use desc_sim::{SimConfig, SnucaSim};
+
+/// Runs the experiment.
+#[must_use]
+pub fn run(scale: &Scale) -> Table {
+    let mut t = Table::new(
+        "Fig. 23: S-NUCA-1 execution time with zero-skipped DESC (normalised)",
+        &["App", "Normalised execution time"],
+    );
+    let cfg = SimConfig::paper_multithreaded();
+    let mut ratios = Vec::new();
+    for p in scale.suite() {
+        let sim = SnucaSim::new(cfg, p, scale.seed);
+        let bin = sim.run(&|| SchemeKind::ConventionalBinary.build_paper_config(), scale.accesses);
+        let desc = sim.run(&|| SchemeKind::ZeroSkippedDesc.build_paper_config(), scale.accesses);
+        let r = desc.exec_time_s / bin.exec_time_s;
+        ratios.push(r);
+        t.row_owned(vec![p.name.into(), r3(r)]);
+    }
+    t.row_owned(vec!["Geomean".into(), r3(geomean(&ratios))]);
+    t.note("paper geomean ≈ 1.01");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn penalty_is_small() {
+        let t = run(&Scale { accesses: 2_000, apps: 3, seed: 1 });
+        let last = t.row_count() - 1;
+        let g: f64 = t.cell(last, 1).expect("geomean").parse().expect("number");
+        assert!((0.98..=1.06).contains(&g), "S-NUCA execution ratio {g}");
+    }
+}

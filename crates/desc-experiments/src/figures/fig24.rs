@@ -1,0 +1,45 @@
+//! Fig. 24: L2 energy of zero-skipped DESC on an 8 MB S-NUCA-1 cache,
+//! normalised to binary S-NUCA-1 (paper: 1.62× improvement, i.e.
+//! ≈0.62 normalised).
+
+use crate::common::Scale;
+use crate::table::{geomean, r2, Table};
+use desc_core::schemes::SchemeKind;
+use desc_sim::{SimConfig, SnucaSim};
+
+/// Runs the experiment.
+#[must_use]
+pub fn run(scale: &Scale) -> Table {
+    let mut t = Table::new(
+        "Fig. 24: S-NUCA-1 L2 energy with zero-skipped DESC (normalised)",
+        &["App", "Normalised L2 energy"],
+    );
+    let cfg = SimConfig::paper_multithreaded();
+    let mut ratios = Vec::new();
+    for p in scale.suite() {
+        let sim = SnucaSim::new(cfg, p, scale.seed);
+        let bin = sim.run(&|| SchemeKind::ConventionalBinary.build_paper_config(), scale.accesses);
+        let desc = sim.run(&|| SchemeKind::ZeroSkippedDesc.build_paper_config(), scale.accesses);
+        // DESC interfaces add static overhead here too.
+        let r = (desc.wire_energy_j + desc.array_energy_j + desc.static_energy_j * 1.03)
+            / bin.total_energy_j();
+        ratios.push(r);
+        t.row_owned(vec![p.name.into(), r2(r)]);
+    }
+    t.row_owned(vec!["Geomean".into(), r2(geomean(&ratios))]);
+    t.note("paper geomean ≈ 0.62 (1.62x energy reduction)");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snuca_energy_reduction_holds() {
+        let t = run(&Scale { accesses: 2_000, apps: 3, seed: 1 });
+        let last = t.row_count() - 1;
+        let g: f64 = t.cell(last, 1).expect("geomean").parse().expect("number");
+        assert!((0.35..=0.85).contains(&g), "S-NUCA energy ratio {g}");
+    }
+}

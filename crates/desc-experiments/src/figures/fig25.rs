@@ -1,0 +1,57 @@
+//! Fig. 25: sensitivity of zero-skipped DESC to the number of L2
+//! banks (1–64), normalised to the 8-bank binary baseline. Paper: 1→2
+//! banks removes most bank conflicts; ≈8 banks minimises both energy
+//! and time; beyond that per-bank overheads grow.
+
+use crate::common::{run_custom, Scale};
+use crate::table::{r2, Table};
+use desc_core::schemes::SchemeKind;
+use desc_sim::SimConfig;
+
+/// The bank counts swept.
+pub const BANKS: [usize; 7] = [1, 2, 4, 8, 16, 32, 64];
+
+/// Runs the experiment.
+#[must_use]
+pub fn run(scale: &Scale) -> Table {
+    let suite = scale.suite();
+    let measure = |banks: usize, kind: SchemeKind| -> (f64, f64) {
+        let mut cfg = SimConfig::paper_multithreaded();
+        cfg.l2.banks = banks;
+        let mut e = 0.0;
+        let mut x = 0.0;
+        for p in &suite {
+            let overhead = if kind.is_desc() { 1.03 } else { 1.0 };
+            let run = run_custom(kind.build_paper_config(), cfg, p, scale, overhead);
+            e += run.l2_energy();
+            x += run.result.exec_time_s;
+        }
+        (e, x)
+    };
+    let (base_e, base_x) = measure(8, SchemeKind::ConventionalBinary);
+    let mut t = Table::new(
+        "Fig. 25: zero-skipped DESC sensitivity to bank count (normalised to 8-bank binary)",
+        &["Banks", "L2 energy", "Exec time"],
+    );
+    for banks in BANKS {
+        let (e, x) = measure(banks, SchemeKind::ZeroSkippedDesc);
+        t.row_owned(vec![banks.to_string(), r2(e / base_e), r2(x / base_x)]);
+    }
+    t.note("paper: time drops sharply 1→2 banks; energy-delay optimum near 8 banks");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_bank_is_slow_and_many_banks_cost_energy() {
+        let t = run(&Scale { accesses: 2_000, apps: 2, seed: 1 });
+        let time = |row: usize| -> f64 { t.cell(row, 2).expect("t").parse().expect("num") };
+        let energy = |row: usize| -> f64 { t.cell(row, 1).expect("e").parse().expect("num") };
+        // Row order follows BANKS.
+        assert!(time(0) > time(3), "1 bank {} !> 8 banks {}", time(0), time(3));
+        assert!(energy(6) > energy(3), "64 banks {} !> 8 banks {}", energy(6), energy(3));
+    }
+}

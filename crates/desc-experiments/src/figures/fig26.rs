@@ -1,0 +1,84 @@
+//! Fig. 26: sensitivity of zero-skipped DESC to the chunk size (1, 2,
+//! 4, 8 bits) across bus widths (32–256 wires), normalised to the
+//! binary baseline. Paper: 4-bit chunks with 128 wires give the best
+//! energy-delay product; 8-bit chunks suffer long windows.
+
+use crate::common::{run_custom, Scale};
+use crate::table::{r2, Table};
+use desc_core::schemes::{DescScheme, SkipMode};
+use desc_core::ChunkSize;
+use desc_sim::SimConfig;
+
+/// Chunk widths and wire counts swept.
+pub const CHUNKS: [u8; 4] = [1, 2, 4, 8];
+/// Wire counts swept.
+pub const WIRES: [usize; 4] = [32, 64, 128, 256];
+
+/// Runs the experiment.
+#[must_use]
+pub fn run(scale: &Scale) -> Table {
+    let suite = scale.suite();
+    let cfg = SimConfig::paper_multithreaded();
+    let mut base_e = 0.0;
+    let mut base_x = 0.0;
+    for p in &suite {
+        let run = run_custom(
+            desc_core::schemes::SchemeKind::ConventionalBinary.build_paper_config(),
+            cfg,
+            p,
+            scale,
+            1.0,
+        );
+        base_e += run.l2_energy();
+        base_x += run.result.exec_time_s;
+    }
+    let mut t = Table::new(
+        "Fig. 26: zero-skipped DESC vs chunk size and wires (normalised to binary)",
+        &["Chunk bits", "Wires", "L2 energy", "Exec time"],
+    );
+    for bits in CHUNKS {
+        for wires in WIRES {
+            let mut e = 0.0;
+            let mut x = 0.0;
+            for p in &suite {
+                let scheme = Box::new(DescScheme::new(
+                    wires,
+                    ChunkSize::new(bits).expect("valid"),
+                    SkipMode::Zero,
+                ));
+                let run = run_custom(scheme, cfg, p, scale, 1.03);
+                e += run.l2_energy();
+                x += run.result.exec_time_s;
+            }
+            t.row_owned(vec![
+                bits.to_string(),
+                wires.to_string(),
+                r2(e / base_e),
+                r2(x / base_x),
+            ]);
+        }
+    }
+    t.note("paper: 4-bit chunks with 128 wires give the best L2 energy-delay product");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_bit_chunks_beat_one_bit_on_energy_and_eight_bit_on_time() {
+        let t = run(&Scale { accesses: 1_200, apps: 2, seed: 1 });
+        // Index rows: bits-major then wires; 128 wires is column 2.
+        let row = |bits_i: usize, wires_i: usize| bits_i * WIRES.len() + wires_i;
+        let energy = |r: usize| -> f64 { t.cell(r, 2).expect("e").parse().expect("num") };
+        let time = |r: usize| -> f64 { t.cell(r, 3).expect("t").parse().expect("num") };
+        let one_bit = row(0, 2);
+        let four_bit = row(2, 2);
+        let eight_bit = row(3, 2);
+        // 1-bit chunks = one strobe per bit → far more transitions.
+        assert!(energy(four_bit) < energy(one_bit));
+        // 8-bit chunks → up-to-255-cycle windows → slower.
+        assert!(time(four_bit) < time(eight_bit));
+    }
+}

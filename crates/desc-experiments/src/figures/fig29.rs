@@ -1,0 +1,50 @@
+//! Fig. 29: L2 energy under SECDED ECC for the W-S configurations,
+//! normalised to 64-bit binary with 64-bit-segment ECC. Paper:
+//! zero-skipped DESC improves cache energy 1.82× with (72,64) and
+//! 1.92× with (137,128).
+
+use crate::common::Scale;
+use crate::figures::fig28::{measure, CONFIGS};
+use crate::table::{geomean, r2, Table};
+
+/// Runs the experiment.
+#[must_use]
+pub fn run(scale: &Scale) -> Table {
+    let mut t = Table::new(
+        "Fig. 29: L2 energy under SECDED ECC (normalised to 64-64 binary)",
+        &["App", CONFIGS[0], CONFIGS[1], CONFIGS[2], CONFIGS[3]],
+    );
+    let rows = measure(scale);
+    let mut per_cfg: Vec<Vec<f64>> = vec![Vec::new(); 4];
+    for (name, _, energies) in &rows {
+        let mut cells = vec![name.clone()];
+        for (i, &e) in energies.iter().enumerate() {
+            let r = e / energies[0];
+            per_cfg[i].push(r);
+            cells.push(r2(r));
+        }
+        t.row_owned(cells);
+    }
+    let mut geo = vec!["Geomean".to_owned()];
+    for ratios in &per_cfg {
+        geo.push(r2(geomean(ratios)));
+    }
+    t.row_owned(geo);
+    t.note("paper: DESC 1.82x with (72,64) and 1.92x with (137,128)");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn desc_saves_energy_under_ecc() {
+        let t = run(&Scale { accesses: 1_500, apps: 2, seed: 1 });
+        let last = t.row_count() - 1;
+        let desc64: f64 = t.cell(last, 3).expect("128-64").parse().expect("num");
+        let desc128: f64 = t.cell(last, 4).expect("128-128").parse().expect("num");
+        assert!(desc64 < 0.85, "128-64 DESC energy {desc64}");
+        assert!(desc128 < 0.85, "128-128 DESC energy {desc128}");
+    }
+}

@@ -1,0 +1,28 @@
+//! One module per reproduced table/figure (see DESIGN.md §4 for the
+//! experiment index).
+
+pub mod ablations;
+pub mod fig01;
+pub mod fig02;
+pub mod fig03;
+pub mod fig05;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod fig17;
+pub mod fig18;
+pub mod fig19;
+pub mod fig20;
+pub mod fig21;
+pub mod fig22;
+pub mod fig23;
+pub mod fig24;
+pub mod fig25;
+pub mod fig26;
+pub mod fig27;
+pub mod fig28;
+pub mod fig29;
+pub mod fig30;
+pub mod tables;

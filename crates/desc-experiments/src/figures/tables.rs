@@ -1,0 +1,94 @@
+//! The paper's configuration tables (Tables 1–3), printed from the
+//! code's own defaults so drift between documentation and
+//! implementation is impossible.
+
+use crate::table::Table;
+use desc_core::synthesis::TechNode;
+use desc_sim::SimConfig;
+use desc_workloads::{parallel_suite, spec_suite};
+
+/// Table 1: simulation parameters, read back from the simulator's
+/// default configurations.
+#[must_use]
+pub fn table1() -> Table {
+    let mt = SimConfig::paper_multithreaded();
+    let ooo = SimConfig::paper_out_of_order();
+    let mut t = Table::new("Table 1: simulation parameters", &["Parameter", "Value"]);
+    t.row(&[
+        "Multithreaded core",
+        &format!("{} in-order cores, 3.2 GHz, 4 HW contexts per core", mt.core.cores()),
+    ]);
+    t.row(&["Single-threaded", "4-issue out-of-order core, 128 ROB entries, 3.2 GHz"]);
+    let _ = ooo;
+    t.row(&["IL1/DL1 cache (per core)", "16KB, 64B block, hit/miss delay 2/2"]);
+    t.row_owned(vec![
+        "L2 cache (shared)".into(),
+        format!(
+            "{}MB, {}-way, LRU, {}B block, {} banks",
+            mt.l2.capacity_bytes >> 20,
+            mt.l2.associativity,
+            mt.l2.block_bytes,
+            mt.l2.banks
+        ),
+    ]);
+    t.row(&["Temperature", "350 K (77 C)"]);
+    t.row_owned(vec![
+        "DRAM".into(),
+        format!(
+            "{} DDR3-1066 channels, FR-FCFS, {} cycle latency",
+            mt.dram_channels, mt.dram_latency_cycles
+        ),
+    ]);
+    t
+}
+
+/// Table 2: applications and data sets, from the workload profiles.
+#[must_use]
+pub fn table2() -> Table {
+    let mut t = Table::new("Table 2: applications and data sets", &["Benchmark", "Suite", "Input"]);
+    for p in parallel_suite().into_iter().chain(spec_suite()) {
+        t.row_owned(vec![p.name.into(), p.suite.to_string(), p.input.into()]);
+    }
+    t
+}
+
+/// Table 3: technology parameters from the synthesis model.
+#[must_use]
+pub fn table3() -> Table {
+    let mut t =
+        Table::new("Table 3: technology parameters", &["Technology", "Voltage", "FO4 Delay"]);
+    for node in [TechNode::NM45, TechNode::NM22] {
+        t.row_owned(vec![
+            format!("{:.0}nm", node.feature_nm),
+            format!("{:.2} V", node.vdd),
+            format!("{:.2} ps", node.fo4_ps),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_contains_table_values() {
+        let s = table1().render();
+        assert!(s.contains("8MB"));
+        assert!(s.contains("16-way"));
+        assert!(s.contains("DDR3-1066"));
+    }
+
+    #[test]
+    fn table2_has_24_apps() {
+        assert_eq!(table2().row_count(), 24);
+    }
+
+    #[test]
+    fn table3_matches_paper() {
+        let s = table3().render();
+        assert!(s.contains("20.25 ps"));
+        assert!(s.contains("11.75 ps"));
+        assert!(s.contains("0.83 V"));
+    }
+}

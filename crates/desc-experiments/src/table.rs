@@ -1,0 +1,222 @@
+//! Plain-text result tables.
+
+use std::fmt;
+
+/// A titled, column-aligned text table — the output format of every
+/// experiment runner.
+///
+/// # Examples
+///
+/// ```
+/// use desc_experiments::Table;
+///
+/// let mut t = Table::new("Demo", &["App", "Energy"]);
+/// t.row(&["Radix", "0.55"]);
+/// let text = t.render();
+/// assert!(text.contains("Radix"));
+/// assert!(text.contains("Energy"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    #[must_use]
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Self {
+            title: title.to_owned(),
+            headers: headers.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row of preformatted cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn row(&mut self, cells: &[&str]) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells.iter().map(|s| (*s).to_owned()).collect());
+    }
+
+    /// Appends a row of owned cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn row_owned(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Appends a footnote printed under the table.
+    pub fn note(&mut self, text: &str) {
+        self.notes.push(text.to_owned());
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The table title.
+    #[must_use]
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Returns cell `(row, col)` if present.
+    #[must_use]
+    pub fn cell(&self, row: usize, col: usize) -> Option<&str> {
+        self.rows.get(row).and_then(|r| r.get(col)).map(String::as_str)
+    }
+
+    /// Renders the table as RFC-4180-style CSV (quotes around cells
+    /// containing commas or quotes), headers first. Notes are omitted.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        fn field(s: &str) -> String {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_owned()
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&self.headers.iter().map(|h| field(h)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| field(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the table as aligned text.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| {
+                    let pad = widths[i].saturating_sub(c.chars().count());
+                    if i == 0 {
+                        format!("{c}{}", " ".repeat(pad))
+                    } else {
+                        format!("{}{c}", " ".repeat(pad))
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&line(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&line(row, &widths));
+            out.push('\n');
+        }
+        for note in &self.notes {
+            out.push_str(&format!("note: {note}\n"));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Formats a ratio with two decimals.
+#[must_use]
+pub fn r2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a ratio with three decimals.
+#[must_use]
+pub fn r3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Geometric mean of positive values.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty or non-positive.
+#[must_use]
+pub fn geomean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "geomean of an empty slice");
+    assert!(xs.iter().all(|&x| x > 0.0), "geomean requires positive values");
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_title_headers_and_rows() {
+        let mut t = Table::new("Fig. X", &["App", "A", "B"]);
+        t.row(&["Radix", "1.00", "0.55"]);
+        t.row(&["LongBenchmarkName", "0.99", "0.60"]);
+        t.note("normalised to binary");
+        let s = t.render();
+        assert!(s.contains("== Fig. X =="));
+        assert!(s.contains("LongBenchmarkName"));
+        assert!(s.contains("note: normalised"));
+        assert_eq!(t.row_count(), 2);
+        assert_eq!(t.cell(0, 2), Some("0.55"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.row(&["only-one"]);
+    }
+
+    #[test]
+    fn csv_escapes_and_includes_headers() {
+        let mut t = Table::new("t", &["App", "Value"]);
+        t.row(&["has,comma", "1.0"]);
+        t.row(&["has\"quote", "2.0"]);
+        t.note("notes never appear in CSV");
+        let csv = t.to_csv();
+        assert_eq!(csv.lines().next(), Some("App,Value"));
+        assert!(csv.contains("\"has,comma\",1.0"));
+        assert!(csv.contains("\"has\"\"quote\",2.0"));
+        assert!(!csv.contains("notes"));
+    }
+
+    #[test]
+    fn numeric_formatting() {
+        assert_eq!(r2(1.8149), "1.81");
+        assert_eq!(r3(0.0666), "0.067");
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+    }
+}

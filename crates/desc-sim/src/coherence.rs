@@ -1,0 +1,333 @@
+//! MESI coherence directory for the private L1s sharing the L2
+//! (Table 1: per-core write-back L1 data caches with a MESI protocol).
+//!
+//! The directory sits logically at the shared L2: it tracks, per
+//! block, which cores hold the line and in what state, and counts the
+//! protocol actions (invalidations, downgrades, ownership upgrades,
+//! writebacks) that the interconnect must carry.
+
+use std::collections::HashMap;
+
+/// MESI stability states for a line in one core's L1.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum MesiState {
+    /// Dirty sole owner.
+    Modified,
+    /// Clean sole owner (silent upgrade to M allowed).
+    Exclusive,
+    /// Clean, possibly multiple sharers.
+    Shared,
+    /// Not present.
+    Invalid,
+}
+
+/// Protocol traffic counters.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct CoherenceStats {
+    /// Invalidation messages sent to sharers on a write.
+    pub invalidations: u64,
+    /// M→S downgrades (with data writeback) on a remote read.
+    pub downgrades: u64,
+    /// S→M upgrade requests (write to a shared line).
+    pub upgrades: u64,
+    /// Dirty data pushed to the L2 by downgrades or evictions.
+    pub writebacks: u64,
+    /// Cache-to-cache transfers (remote L1 supplies the data).
+    pub interventions: u64,
+}
+
+/// A full-map MESI directory over the cores' L1 contents.
+///
+/// # Examples
+///
+/// ```
+/// use desc_sim::coherence::{Directory, MesiState};
+///
+/// let mut dir = Directory::new(4);
+/// assert_eq!(dir.read(0, 0x40), MesiState::Exclusive); // first reader
+/// assert_eq!(dir.read(1, 0x40), MesiState::Shared);    // second reader
+/// dir.write(2, 0x40);                                  // writer invalidates both
+/// assert_eq!(dir.state(0, 0x40), MesiState::Invalid);
+/// assert_eq!(dir.state(2, 0x40), MesiState::Modified);
+/// assert_eq!(dir.stats().invalidations, 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Directory {
+    cores: usize,
+    /// Per block: (owner-or-sharer bitmap, state of the line class).
+    lines: HashMap<u64, LineEntry>,
+    stats: CoherenceStats,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct LineEntry {
+    sharers: u32,
+    /// Core holding the line in M or E, if any.
+    owner: Option<u8>,
+    dirty: bool,
+}
+
+const BLOCK: u64 = 64;
+
+impl Directory {
+    /// Creates a directory for `cores` cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is 0 or exceeds 32.
+    #[must_use]
+    pub fn new(cores: usize) -> Self {
+        assert!((1..=32).contains(&cores), "core count {cores} out of range");
+        Self { cores, lines: HashMap::new(), stats: CoherenceStats::default() }
+    }
+
+    /// The protocol traffic so far.
+    #[must_use]
+    pub fn stats(&self) -> CoherenceStats {
+        self.stats
+    }
+
+    /// Current state of `addr`'s block in `core`'s L1.
+    #[must_use]
+    pub fn state(&self, core: u8, addr: u64) -> MesiState {
+        let block = addr / BLOCK;
+        match self.lines.get(&block) {
+            None => MesiState::Invalid,
+            Some(e) => {
+                if e.sharers & (1 << core) == 0 {
+                    MesiState::Invalid
+                } else if e.owner == Some(core) {
+                    if e.dirty {
+                        MesiState::Modified
+                    } else {
+                        MesiState::Exclusive
+                    }
+                } else {
+                    MesiState::Shared
+                }
+            }
+        }
+    }
+
+    /// Core `core` reads `addr`; returns the state the line ends up in
+    /// at that core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn read(&mut self, core: u8, addr: u64) -> MesiState {
+        assert!((core as usize) < self.cores, "core {core} out of range");
+        let block = addr / BLOCK;
+        let me = 1u32 << core;
+        let entry = self.lines.entry(block).or_insert(LineEntry {
+            sharers: 0,
+            owner: None,
+            dirty: false,
+        });
+        if entry.sharers == 0 {
+            // Sole reader: Exclusive.
+            entry.sharers = me;
+            entry.owner = Some(core);
+            entry.dirty = false;
+            return MesiState::Exclusive;
+        }
+        if entry.sharers & me != 0 {
+            // Already present; state unchanged.
+        } else {
+            // Remote sharers exist. A dirty owner must downgrade and
+            // supply the data.
+            if entry.dirty {
+                self.stats.downgrades += 1;
+                self.stats.writebacks += 1;
+                self.stats.interventions += 1;
+                entry.dirty = false;
+            } else if entry.owner.is_some() {
+                // E owner supplies data cache-to-cache.
+                self.stats.interventions += 1;
+            }
+            entry.owner = None;
+            entry.sharers |= me;
+        }
+        if entry.owner == Some(core) {
+            if entry.dirty {
+                MesiState::Modified
+            } else {
+                MesiState::Exclusive
+            }
+        } else {
+            MesiState::Shared
+        }
+    }
+
+    /// Core `core` writes `addr`; all other sharers are invalidated
+    /// and the line becomes Modified at `core`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn write(&mut self, core: u8, addr: u64) {
+        assert!((core as usize) < self.cores, "core {core} out of range");
+        let block = addr / BLOCK;
+        let me = 1u32 << core;
+        let entry = self.lines.entry(block).or_insert(LineEntry {
+            sharers: 0,
+            owner: None,
+            dirty: false,
+        });
+        let others = entry.sharers & !me;
+        if others != 0 {
+            self.stats.invalidations += u64::from(others.count_ones());
+            if entry.dirty && entry.owner != Some(core) {
+                // Remote M line is transferred, not written back.
+                self.stats.interventions += 1;
+            }
+        }
+        if entry.sharers & me != 0 && entry.owner.is_none() {
+            // S → M needs an upgrade request even with no other sharer
+            // race, counted per transition.
+            self.stats.upgrades += 1;
+        }
+        entry.sharers = me;
+        entry.owner = Some(core);
+        entry.dirty = true;
+    }
+
+    /// Core `core` evicts `addr` from its L1; returns `true` if dirty
+    /// data had to be written back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn evict(&mut self, core: u8, addr: u64) -> bool {
+        assert!((core as usize) < self.cores, "core {core} out of range");
+        let block = addr / BLOCK;
+        let me = 1u32 << core;
+        if let Some(entry) = self.lines.get_mut(&block) {
+            if entry.sharers & me != 0 {
+                let was_dirty = entry.dirty && entry.owner == Some(core);
+                entry.sharers &= !me;
+                if entry.owner == Some(core) {
+                    entry.owner = None;
+                    entry.dirty = false;
+                }
+                if entry.sharers == 0 {
+                    self.lines.remove(&block);
+                }
+                if was_dirty {
+                    self.stats.writebacks += 1;
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Checks the single-writer invariant over all tracked lines:
+    /// a dirty line has exactly one sharer, and an owner is always a
+    /// sharer. Used by property tests.
+    #[must_use]
+    pub fn invariants_hold(&self) -> bool {
+        self.lines.values().all(|e| {
+            let owner_ok = e.owner.is_none_or(|o| e.sharers & (1 << o) != 0);
+            let dirty_ok = !e.dirty || (e.owner.is_some() && e.sharers.count_ones() == 1);
+            owner_ok && dirty_ok
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_read_is_exclusive_second_is_shared() {
+        let mut d = Directory::new(8);
+        assert_eq!(d.read(0, 0x100), MesiState::Exclusive);
+        assert_eq!(d.read(1, 0x100), MesiState::Shared);
+        assert_eq!(d.state(0, 0x100), MesiState::Shared);
+        assert_eq!(d.stats().interventions, 1); // E owner supplied data
+    }
+
+    #[test]
+    fn write_invalidates_sharers() {
+        let mut d = Directory::new(8);
+        d.read(0, 0x40);
+        d.read(1, 0x40);
+        d.read(2, 0x40);
+        d.write(3, 0x40);
+        assert_eq!(d.stats().invalidations, 3);
+        for c in 0..3 {
+            assert_eq!(d.state(c, 0x40), MesiState::Invalid);
+        }
+        assert_eq!(d.state(3, 0x40), MesiState::Modified);
+        assert!(d.invariants_hold());
+    }
+
+    #[test]
+    fn remote_read_downgrades_modified() {
+        let mut d = Directory::new(4);
+        d.write(0, 0x80);
+        assert_eq!(d.state(0, 0x80), MesiState::Modified);
+        assert_eq!(d.read(1, 0x80), MesiState::Shared);
+        assert_eq!(d.state(0, 0x80), MesiState::Shared);
+        assert_eq!(d.stats().downgrades, 1);
+        assert_eq!(d.stats().writebacks, 1);
+        assert!(d.invariants_hold());
+    }
+
+    #[test]
+    fn silent_e_to_m_upgrade_costs_nothing() {
+        let mut d = Directory::new(4);
+        d.read(0, 0xC0); // Exclusive
+        d.write(0, 0xC0); // silent upgrade
+        assert_eq!(d.state(0, 0xC0), MesiState::Modified);
+        assert_eq!(d.stats().upgrades, 0);
+        assert_eq!(d.stats().invalidations, 0);
+    }
+
+    #[test]
+    fn shared_write_counts_an_upgrade() {
+        let mut d = Directory::new(4);
+        d.read(0, 0xC0);
+        d.read(1, 0xC0);
+        d.write(0, 0xC0);
+        assert_eq!(d.stats().upgrades, 1);
+        assert_eq!(d.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn dirty_eviction_writes_back() {
+        let mut d = Directory::new(4);
+        d.write(2, 0x1000);
+        assert!(d.evict(2, 0x1000));
+        assert_eq!(d.state(2, 0x1000), MesiState::Invalid);
+        // Clean eviction does not.
+        d.read(1, 0x2000);
+        assert!(!d.evict(1, 0x2000));
+    }
+
+    #[test]
+    fn invariants_hold_under_random_traffic() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut d = Directory::new(8);
+        for _ in 0..20_000 {
+            let core = rng.gen_range(0..8u8);
+            let addr = u64::from(rng.gen_range(0..64u32)) * 64;
+            match rng.gen_range(0..3) {
+                0 => {
+                    let _ = d.read(core, addr);
+                }
+                1 => d.write(core, addr),
+                _ => {
+                    let _ = d.evict(core, addr);
+                }
+            }
+            debug_assert!(d.invariants_hold());
+        }
+        assert!(d.invariants_hold());
+        assert!(d.stats().invalidations > 0);
+        assert!(d.stats().downgrades > 0);
+    }
+}

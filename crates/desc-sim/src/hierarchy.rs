@@ -1,0 +1,282 @@
+//! Per-core L1 caches in front of the shared L2 (Table 1: 16 KB
+//! direct-mapped IL1, 16 KB 4-way DL1, MESI protocol).
+//!
+//! The main experiment pipeline drives the L2 with post-L1 traces (the
+//! statistics `desc-workloads` calibrates are L2-level), but the L1
+//! layer is a real substrate: a [`CoreComplex`] filters a CPU-level
+//! access stream through private L1s with MESI coherence, producing
+//! the L2 request stream plus hit/miss and protocol statistics.
+
+use crate::cache::SetAssocCache;
+use crate::coherence::{CoherenceStats, Directory};
+use desc_workloads::Access;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Statistics from filtering a CPU stream through the L1 layer.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct L1Stats {
+    /// Data-cache accesses.
+    pub accesses: u64,
+    /// Data-cache hits.
+    pub hits: u64,
+    /// L1 evictions of dirty lines (write-backs toward the L2).
+    pub writebacks: u64,
+}
+
+impl L1Stats {
+    /// L1 hit rate.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// The private L1 layer of all cores plus the MESI directory.
+///
+/// # Examples
+///
+/// ```
+/// use desc_sim::hierarchy::CoreComplex;
+/// use desc_workloads::Access;
+///
+/// let mut cores = CoreComplex::new(8);
+/// // A tight per-core loop hits in the L1 after the first touch.
+/// let a = Access { addr: 0x4000, write: false, core: 2 };
+/// assert!(cores.access(a).is_some());  // cold: goes to the L2
+/// assert!(cores.access(a).is_none());  // warm: filtered
+/// ```
+#[derive(Clone, Debug)]
+pub struct CoreComplex {
+    l1d: Vec<SetAssocCache>,
+    directory: Directory,
+    stats: L1Stats,
+}
+
+/// Table 1 DL1 geometry: 16 KB, 4-way, 64 B blocks.
+const L1_BYTES: usize = 16 << 10;
+const L1_WAYS: usize = 4;
+const BLOCK_BYTES: usize = 64;
+
+impl CoreComplex {
+    /// Creates `cores` private DL1s and the shared directory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero or above 32.
+    #[must_use]
+    pub fn new(cores: usize) -> Self {
+        assert!((1..=32).contains(&cores), "core count {cores} out of range");
+        Self {
+            l1d: (0..cores).map(|_| SetAssocCache::new(L1_BYTES, BLOCK_BYTES, L1_WAYS)).collect(),
+            directory: Directory::new(cores),
+            stats: L1Stats::default(),
+        }
+    }
+
+    /// Number of cores.
+    #[must_use]
+    pub fn cores(&self) -> usize {
+        self.l1d.len()
+    }
+
+    /// Filters one CPU access through the issuing core's L1. Returns
+    /// `Some(access)` when the request must go to the L2 (L1 miss),
+    /// `None` when the L1 absorbs it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the access names a core this complex does not have.
+    pub fn access(&mut self, access: Access) -> Option<Access> {
+        let core = access.core as usize;
+        assert!(core < self.l1d.len(), "core {core} out of range");
+        self.stats.accesses += 1;
+        // Keep the directory coherent regardless of hit/miss.
+        if access.write {
+            self.directory.write(access.core, access.addr);
+        } else {
+            let _ = self.directory.read(access.core, access.addr);
+        }
+        let outcome = self.l1d[core].access(access.addr, access.write, access.core);
+        match outcome {
+            crate::cache::CacheOutcome::Hit => {
+                self.stats.hits += 1;
+                None
+            }
+            crate::cache::CacheOutcome::Miss { writeback } => {
+                if writeback {
+                    self.stats.writebacks += 1;
+                }
+                Some(access)
+            }
+        }
+    }
+
+    /// L1-layer statistics.
+    #[must_use]
+    pub fn stats(&self) -> L1Stats {
+        self.stats
+    }
+
+    /// MESI protocol traffic.
+    #[must_use]
+    pub fn coherence(&self) -> CoherenceStats {
+        self.directory.stats()
+    }
+}
+
+/// Expands a benchmark's L2-level trace back into a CPU-level stream:
+/// each L2-bound access is preceded by a burst of accesses to the
+/// issuing core's private, L1-resident working set (stack and locals),
+/// so that the L1 filter reproduces the benchmark's L2 intensity.
+///
+/// # Examples
+///
+/// ```
+/// use desc_sim::hierarchy::{CoreComplex, CpuStream};
+/// use desc_workloads::BenchmarkId;
+///
+/// let profile = BenchmarkId::Lu.profile();
+/// let mut stream = CpuStream::new(&profile, 3, 9);
+/// let mut cores = CoreComplex::new(profile.cores);
+/// let mut to_l2 = 0;
+/// for _ in 0..2_000 {
+///     if cores.access(stream.next_access()).is_some() {
+///         to_l2 += 1;
+///     }
+/// }
+/// assert!(to_l2 < 2_000, "the L1s must absorb private traffic");
+/// ```
+#[derive(Clone, Debug)]
+pub struct CpuStream {
+    inner: desc_workloads::TraceGenerator,
+    rng: StdRng,
+    /// Private accesses emitted per shared (L2-bound) access.
+    burst: u32,
+    burst_left: u32,
+    pending: Option<Access>,
+    cores: usize,
+}
+
+impl CpuStream {
+    /// Creates a CPU-level stream for `profile`; `burst` private
+    /// accesses accompany each shared access.
+    #[must_use]
+    pub fn new(profile: &desc_workloads::BenchmarkProfile, burst: u32, seed: u64) -> Self {
+        Self {
+            inner: profile.trace(seed),
+            rng: StdRng::seed_from_u64(seed ^ 0xABCD_EF01),
+            burst,
+            burst_left: 0,
+            pending: None,
+            cores: profile.cores,
+        }
+    }
+
+    /// Draws the next CPU-level access.
+    pub fn next_access(&mut self) -> Access {
+        if self.burst_left == 0 {
+            let shared = self.inner.next_access();
+            self.burst_left = self.burst;
+            self.pending = Some(shared);
+            if self.burst == 0 {
+                self.burst_left = 0;
+                return self.pending.take().expect("just set");
+            }
+        }
+        self.burst_left -= 1;
+        if self.burst_left == 0 {
+            if let Some(shared) = self.pending.take() {
+                return shared;
+            }
+        }
+        // Private access: a small per-core region disjoint from the
+        // shared working set (high address bit set).
+        let core = self
+            .pending
+            .map_or_else(|| self.rng.gen_range(0..self.cores) as u8, |a| a.core);
+        let slot = self.rng.gen_range(0..64u64); // 4 KB of hot locals
+        Access {
+            addr: (1 << 40) | (u64::from(core) << 20) | (slot * 64),
+            write: self.rng.gen::<f64>() < 0.3,
+            core,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use desc_workloads::BenchmarkId;
+
+    #[test]
+    fn l1_absorbs_private_bursts() {
+        let profile = BenchmarkId::Swim.profile();
+        let mut stream = CpuStream::new(&profile, 9, 1);
+        let mut cores = CoreComplex::new(profile.cores);
+        let n = 50_000;
+        let mut to_l2 = 0u64;
+        for _ in 0..n {
+            if cores.access(stream.next_access()).is_some() {
+                to_l2 += 1;
+            }
+        }
+        let hit_rate = cores.stats().hit_rate();
+        assert!(hit_rate > 0.7, "L1 hit rate {hit_rate:.3}");
+        // Roughly one in (burst+1) accesses is shared; most shared
+        // accesses miss the tiny L1.
+        let share = to_l2 as f64 / n as f64;
+        assert!((0.02..=0.25).contains(&share), "L2-bound share {share:.3}");
+    }
+
+    #[test]
+    fn coherence_traffic_appears_on_shared_data() {
+        let profile = BenchmarkId::Ocean.profile();
+        let mut stream = CpuStream::new(&profile, 3, 2);
+        let mut cores = CoreComplex::new(profile.cores);
+        for _ in 0..40_000 {
+            let _ = cores.access(stream.next_access());
+        }
+        let c = cores.coherence();
+        assert!(c.invalidations > 0, "expected write sharing");
+        assert!(c.downgrades > 0, "expected M-line reads");
+    }
+
+    #[test]
+    fn single_core_spec_apps_have_no_coherence_traffic() {
+        let profile = BenchmarkId::Sjeng.profile();
+        let mut stream = CpuStream::new(&profile, 5, 3);
+        let mut cores = CoreComplex::new(profile.cores);
+        for _ in 0..20_000 {
+            let _ = cores.access(stream.next_access());
+        }
+        let c = cores.coherence();
+        assert_eq!(c.invalidations, 0);
+        assert_eq!(c.downgrades, 0);
+        assert!(cores.stats().hit_rate() > 0.5);
+    }
+
+    #[test]
+    fn zero_burst_passes_the_raw_trace() {
+        let profile = BenchmarkId::Lu.profile();
+        let mut plain = profile.trace(7);
+        let mut stream = CpuStream::new(&profile, 0, 7);
+        for _ in 0..100 {
+            assert_eq!(stream.next_access(), plain.next_access());
+        }
+    }
+
+    #[test]
+    fn dirty_l1_evictions_count_writebacks() {
+        let mut cores = CoreComplex::new(1);
+        // Write a streaming footprint bigger than the 16 KB L1.
+        for i in 0..2_000u64 {
+            let _ = cores.access(Access { addr: i * 64, write: true, core: 0 });
+        }
+        assert!(cores.stats().writebacks > 0);
+    }
+}

@@ -1,0 +1,244 @@
+//! S-NUCA-1 system simulation (paper §5.5, Figs. 23/24).
+//!
+//! 128 banks with private, statically-routed 128-bit channels: access
+//! latency and wire energy depend on the bank, there is no shared
+//! H-tree trunk, and bank-level parallelism is abundant. Each bank's
+//! channel keeps its own wire state, so transfer schemes are
+//! instantiated per bank.
+
+use crate::bank::BankScheduler;
+use crate::cache::{CacheOutcome, SetAssocCache};
+use crate::config::SimConfig;
+use crate::dram::Dram;
+use desc_cacti::snuca::SnucaModel;
+use desc_core::{TransferScheme, Block};
+use desc_workloads::{Access, BenchmarkProfile};
+
+/// Result of an S-NUCA-1 run.
+#[derive(Clone, Debug)]
+pub struct SnucaResult {
+    /// L2 accesses simulated.
+    pub accesses: u64,
+    /// L2 misses.
+    pub misses: u64,
+    /// Execution time in cycles.
+    pub exec_cycles: u64,
+    /// Execution time in seconds.
+    pub exec_time_s: f64,
+    /// Wire switching energy on the bank channels in joules.
+    pub wire_energy_j: f64,
+    /// Array + tag dynamic energy in joules.
+    pub array_energy_j: f64,
+    /// Leakage energy in joules.
+    pub static_energy_j: f64,
+    /// Mean intrinsic hit latency in cycles.
+    pub avg_hit_latency_cycles: f64,
+}
+
+impl SnucaResult {
+    /// Total L2 energy in joules.
+    #[must_use]
+    pub fn total_energy_j(&self) -> f64 {
+        self.wire_energy_j + self.array_energy_j + self.static_energy_j
+    }
+}
+
+/// A configured S-NUCA-1 simulation.
+pub struct SnucaSim {
+    config: SimConfig,
+    profile: BenchmarkProfile,
+    seed: u64,
+}
+
+impl SnucaSim {
+    /// Creates an S-NUCA-1 simulation of `profile`.
+    #[must_use]
+    pub fn new(config: SimConfig, profile: BenchmarkProfile, seed: u64) -> Self {
+        Self { config, profile, seed }
+    }
+
+    /// Runs `accesses` accesses; `make_scheme` builds one transfer
+    /// scheme per bank channel (each channel has independent wire
+    /// state).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `accesses` is zero.
+    pub fn run(
+        &self,
+        make_scheme: &dyn Fn() -> Box<dyn TransferScheme>,
+        accesses: usize,
+    ) -> SnucaResult {
+        assert!(accesses > 0, "simulate at least one access");
+        let model = SnucaModel::paper_default();
+        let banks_n = model.banks();
+        let mut schemes: Vec<Box<dyn TransferScheme>> = (0..banks_n).map(|_| make_scheme()).collect();
+        let is_desc = schemes[0].name().contains("DESC");
+        let iface = if is_desc { self.config.desc_interface_cycles } else { 0 };
+
+        // Per-bank array delay: banks are 64 KB, much faster than the
+        // UCA's 1 MB banks — use a fixed 3-cycle array access.
+        let array = 3u64;
+
+        let mut l2 = SetAssocCache::new(
+            self.config.l2.capacity_bytes,
+            self.config.l2.block_bytes,
+            self.config.l2.associativity,
+        );
+        let mut values = self.profile.value_stream(self.seed);
+        let mut trace_gen = self.profile.trace(self.seed);
+        let mut banks = BankScheduler::new(banks_n);
+        let mut dram = Dram::new(
+            self.config.dram_channels,
+            self.config.dram_latency_cycles,
+            self.config.dram_occupancy_cycles,
+        );
+
+        // Steady-state warmup (directory only), as in `SystemSim`.
+        let capacity_blocks = self.config.l2.capacity_bytes / self.config.l2.block_bytes;
+        for _ in 0..(2 * capacity_blocks).max(accesses) {
+            let Access { addr, write, core } = trace_gen.next_access();
+            let _ = l2.access(addr, write, core);
+        }
+
+        let mut wire_energy_j = 0.0f64;
+        let mut array_energy_j = 0.0f64;
+        let mut misses = 0u64;
+        let mut hit_latency_sum = 0u64;
+        let mut hits = 0u64;
+        let mut latency_sum = 0u64;
+
+        let apki = self.profile.l2_apki;
+        let cores = self.profile.cores as f64;
+        let base_cpa = 1000.0 / (apki * cores * self.profile.base_ipc);
+        let cache_model = desc_cacti::CacheModel::new(self.config.l2);
+
+        let mut transfer = |bank: usize,
+                            schemes: &mut Vec<Box<dyn TransferScheme>>,
+                            values: &mut desc_workloads::ValueStream|
+         -> u64 {
+            let block: Block = values.next_block();
+            let cost = schemes[bank].transfer(&block);
+            wire_energy_j +=
+                cost.total_transitions() as f64 * model.bank_energy_per_transition(bank);
+            cost.cycles
+        };
+
+        for i in 0..accesses {
+            let Access { addr, write, core } = trace_gen.next_access();
+            let bank = (addr / 64 % banks_n as u64) as usize;
+            let wire_lat = model.bank_latency_cycles(bank);
+            let arrival = (i as f64 * base_cpa) as u64;
+            array_energy_j += cache_model.tag_access_energy();
+            match l2.access(addr, write, core) {
+                CacheOutcome::Hit => {
+                    hits += 1;
+                    let cycles = transfer(bank, &mut schemes, &mut values);
+                    array_energy_j += cache_model.array_read_energy();
+                    let latency = array + wire_lat + cycles + iface;
+                    hit_latency_sum += latency;
+                    let (_, queue) = banks.schedule(bank, arrival, array + cycles);
+                    latency_sum += latency + queue;
+                }
+                CacheOutcome::Miss { writeback } => {
+                    misses += 1;
+                    let fill = transfer(bank, &mut schemes, &mut values);
+                    array_energy_j += cache_model.array_write_energy();
+                    let mut service = array + fill;
+                    if writeback {
+                        service += transfer(bank, &mut schemes, &mut values);
+                        array_energy_j += cache_model.array_read_energy();
+                    }
+                    let (start, queue) = banks.schedule(bank, arrival, service);
+                    let done = dram.access(addr, start + array + wire_lat);
+                    latency_sum += queue + (done - arrival) + fill + iface;
+                }
+            }
+        }
+
+        let base_cycles = (accesses as f64 * base_cpa).ceil() as u64;
+        let stall = (latency_sum as f64 * self.config.core.exposure() / cores) as u64;
+        let exec_cycles = (base_cycles + stall).max(banks.horizon());
+        let exec_time_s = exec_cycles as f64 * self.config.l2.tech.cycle_s();
+        let static_energy_j = cache_model.leakage_power() * exec_time_s;
+
+        SnucaResult {
+            accesses: accesses as u64,
+            misses,
+            exec_cycles,
+            exec_time_s,
+            wire_energy_j,
+            array_energy_j,
+            static_energy_j,
+            avg_hit_latency_cycles: if hits > 0 {
+                hit_latency_sum as f64 / hits as f64
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use desc_core::schemes::SchemeKind;
+    use desc_workloads::BenchmarkId;
+
+    fn run(kind: SchemeKind, n: usize) -> SnucaResult {
+        let cfg = SimConfig::paper_multithreaded();
+        let sim = SnucaSim::new(cfg, BenchmarkId::Ocean.profile(), 11);
+        sim.run(&|| kind.build_paper_config(), n)
+    }
+
+    #[test]
+    fn desc_reduces_snuca_wire_energy() {
+        // Paper Fig. 24: zero-skipped DESC improves S-NUCA-1 cache
+        // energy by ≈1.6×.
+        let bin = run(SchemeKind::ConventionalBinary, 8_000);
+        let desc = run(SchemeKind::ZeroSkippedDesc, 8_000);
+        assert!(
+            desc.wire_energy_j < 0.8 * bin.wire_energy_j,
+            "DESC {:.3e} vs binary {:.3e}",
+            desc.wire_energy_j,
+            bin.wire_energy_j
+        );
+    }
+
+    #[test]
+    fn desc_snuca_execution_penalty_is_small() {
+        // Paper Fig. 23: ≈1% execution-time penalty.
+        let bin = run(SchemeKind::ConventionalBinary, 8_000);
+        let desc = run(SchemeKind::ZeroSkippedDesc, 8_000);
+        let overhead = desc.exec_time_s / bin.exec_time_s - 1.0;
+        assert!(overhead < 0.05, "S-NUCA overhead {overhead:.3}");
+    }
+
+    #[test]
+    fn hit_latency_sits_in_the_3_to_13_cycle_band_plus_transfer() {
+        let bin = run(SchemeKind::ConventionalBinary, 6_000);
+        // array 3 + wire 3..13 + 4 beats (128-bit port → 512/128).
+        assert!(
+            bin.avg_hit_latency_cycles > 8.0 && bin.avg_hit_latency_cycles < 25.0,
+            "hit latency {:.1}",
+            bin.avg_hit_latency_cycles
+        );
+    }
+
+    #[test]
+    fn energy_components_are_positive() {
+        let r = run(SchemeKind::ZeroSkippedDesc, 4_000);
+        assert!(r.wire_energy_j > 0.0);
+        assert!(r.array_energy_j > 0.0);
+        assert!(r.static_energy_j > 0.0);
+        assert!(r.total_energy_j() > r.wire_energy_j);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = run(SchemeKind::ZeroSkippedDesc, 3_000);
+        let b = run(SchemeKind::ZeroSkippedDesc, 3_000);
+        assert_eq!(a.exec_cycles, b.exec_cycles);
+        assert!((a.wire_energy_j - b.wire_energy_j).abs() < 1e-18);
+    }
+}

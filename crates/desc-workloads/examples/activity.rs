@@ -1,0 +1,28 @@
+//! Calibration check: mean H-tree transitions per transferred block for
+//! every transfer scheme over the full parallel suite — the raw
+//! activity numbers behind the paper's Fig. 16.
+//!
+//! ```text
+//! cargo run --release -p desc-workloads --example activity
+//! ```
+
+use desc_core::schemes::SchemeKind;
+use desc_core::TransferScheme;
+use desc_workloads::parallel_suite;
+
+fn main() {
+    let blocks = 2000;
+    for kind in SchemeKind::ALL {
+        let mut total = 0u64;
+        let mut n = 0u64;
+        for p in parallel_suite() {
+            let mut scheme = kind.build_paper_config();
+            let mut stream = p.value_stream(7);
+            for _ in 0..blocks {
+                total += scheme.transfer(&stream.next_block()).total_transitions();
+                n += 1;
+            }
+        }
+        println!("{:32} {:.1} transitions/block", kind.label(), total as f64 / n as f64);
+    }
+}

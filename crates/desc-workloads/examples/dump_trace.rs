@@ -1,0 +1,40 @@
+//! Dump a benchmark's L2 access trace (and optionally block contents)
+//! as CSV for use with external tools or other simulators.
+//!
+//! ```text
+//! cargo run --release -p desc-workloads --example dump_trace -- Radix 1000
+//! cargo run --release -p desc-workloads --example dump_trace -- FFT 100 --blocks
+//! ```
+
+use desc_workloads::{parallel_suite, spec_suite, BenchmarkId};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let name = args.first().map_or("Radix", String::as_str);
+    let count: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1000);
+    let with_blocks = args.iter().any(|a| a == "--blocks");
+
+    let profile = parallel_suite()
+        .into_iter()
+        .chain(spec_suite())
+        .find(|p| p.name.eq_ignore_ascii_case(name))
+        .unwrap_or_else(|| BenchmarkId::Radix.profile());
+
+    let mut trace = profile.trace(2013);
+    let mut values = profile.value_stream(2013);
+    if with_blocks {
+        println!("addr,write,core,block_hex");
+        for _ in 0..count {
+            let a = trace.next_access();
+            let block = values.next_block();
+            let hex: String = block.as_bytes().iter().map(|b| format!("{b:02x}")).collect();
+            println!("{:#x},{},{},{hex}", a.addr, u8::from(a.write), a.core);
+        }
+    } else {
+        println!("addr,write,core");
+        for _ in 0..count {
+            let a = trace.next_access();
+            println!("{:#x},{},{}", a.addr, u8::from(a.write), a.core);
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! # desc-workloads
+//!
+//! Synthetic models of the paper's 24 applications (Table 2): sixteen
+//! memory-intensive parallel programs from Phoenix, SPLASH-2, SPEC
+//! OpenMP and NAS, and eight single-threaded SPEC CPU2006 programs.
+//!
+//! The real benchmark binaries and inputs are unavailable here, so each
+//! application is modelled by a [`BenchmarkProfile`]: its L2 access
+//! intensity, miss behaviour, sharing, and — most importantly for DESC
+//! — a [`ValueModel`] describing the *content* of the cache blocks it
+//! moves. The value models are mixtures of block archetypes (null
+//! blocks, sparse integers, dense floating point, text, pointers,
+//! block re-writes) whose weights are chosen per benchmark so the
+//! aggregate chunk statistics reproduce the paper's measurements:
+//! ≈31% of transferred 4-bit chunks are zero (Fig. 12) and ≈39% repeat
+//! the previous chunk on their wire (Fig. 13). The generators are
+//! deterministic given a seed.
+//!
+//! ```
+//! use desc_workloads::{parallel_suite, BenchmarkId};
+//!
+//! let suite = parallel_suite();
+//! assert_eq!(suite.len(), 16);
+//! let radix = BenchmarkId::Radix.profile();
+//! let mut values = radix.value_stream(42);
+//! let block = values.next_block();
+//! assert_eq!(block.byte_len(), 64);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod profile;
+pub mod stats;
+pub mod trace;
+pub mod values;
+
+pub use profile::{parallel_suite, spec_suite, BenchmarkId, BenchmarkProfile, Suite};
+pub use stats::ChunkStats;
+pub use trace::{Access, TraceGenerator};
+pub use values::{ValueModel, ValueStream};

@@ -1,0 +1,366 @@
+//! Cache-block content generators.
+//!
+//! A [`ValueModel`] is a mixture over block *archetypes*; a
+//! [`ValueStream`] samples blocks from it with cross-block memory so
+//! that last-value correlation (paper Fig. 13) is reproduced.
+
+use desc_core::Block;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Block archetypes observed in last-level-cache traffic.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum Archetype {
+    /// All-zero block (freshly-allocated or cleared data).
+    Null,
+    /// Sparse integers: most 64-bit words zero, a few small values.
+    SparseInt,
+    /// Dense small integers: every 32-bit word holds a value ≪ 2³²,
+    /// so high-order nibbles are zero.
+    SmallInt,
+    /// Dense double-precision floats with shared exponent range and
+    /// random mantissas.
+    DenseFp,
+    /// ASCII text bytes.
+    Text,
+    /// Pointer-like 64-bit words sharing a heap base address.
+    Pointer,
+    /// A re-write of the previous block with a few words mutated —
+    /// the source of last-value chunk repeats.
+    NearRepeat,
+}
+
+/// Mixture weights over archetypes, per benchmark.
+///
+/// Weights need not sum to one; they are normalised at sampling time.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct ValueModel {
+    /// Weight of [`Archetype::Null`].
+    pub null: f64,
+    /// Weight of [`Archetype::SparseInt`].
+    pub sparse_int: f64,
+    /// Weight of [`Archetype::SmallInt`].
+    pub small_int: f64,
+    /// Weight of [`Archetype::DenseFp`].
+    pub dense_fp: f64,
+    /// Weight of [`Archetype::Text`].
+    pub text: f64,
+    /// Weight of [`Archetype::Pointer`].
+    pub pointer: f64,
+    /// Weight of [`Archetype::NearRepeat`].
+    pub near_repeat: f64,
+}
+
+impl ValueModel {
+    /// A generic mixed workload roughly matching the paper's average
+    /// statistics (≈31% zero chunks, ≈39% last-value repeats).
+    #[must_use]
+    pub fn mixed() -> Self {
+        Self {
+            null: 0.06,
+            sparse_int: 0.08,
+            small_int: 0.08,
+            dense_fp: 0.42,
+            text: 0.03,
+            pointer: 0.09,
+            near_repeat: 0.24,
+        }
+    }
+
+    fn weights(&self) -> [(Archetype, f64); 7] {
+        [
+            (Archetype::Null, self.null),
+            (Archetype::SparseInt, self.sparse_int),
+            (Archetype::SmallInt, self.small_int),
+            (Archetype::DenseFp, self.dense_fp),
+            (Archetype::Text, self.text),
+            (Archetype::Pointer, self.pointer),
+            (Archetype::NearRepeat, self.near_repeat),
+        ]
+    }
+
+    /// Creates a deterministic stream of 64-byte blocks from this
+    /// model.
+    #[must_use]
+    pub fn stream(&self, seed: u64) -> ValueStream {
+        ValueStream::new(*self, seed)
+    }
+}
+
+impl Default for ValueModel {
+    fn default() -> Self {
+        Self::mixed()
+    }
+}
+
+/// A deterministic generator of cache blocks with cross-block value
+/// correlation.
+///
+/// # Examples
+///
+/// ```
+/// use desc_workloads::values::ValueModel;
+///
+/// let mut a = ValueModel::mixed().stream(7);
+/// let mut b = ValueModel::mixed().stream(7);
+/// assert_eq!(a.next_block(), b.next_block()); // same seed, same stream
+/// ```
+#[derive(Clone, Debug)]
+pub struct ValueStream {
+    model: ValueModel,
+    rng: StdRng,
+    previous: Block,
+    heap_base: u64,
+}
+
+/// Blocks are the paper's 64-byte L2 blocks.
+const BLOCK_BYTES: usize = 64;
+const WORDS: usize = BLOCK_BYTES / 8;
+
+impl ValueStream {
+    /// Creates a stream with the given mixture and seed.
+    #[must_use]
+    pub fn new(model: ValueModel, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let heap_base = rng.gen_range(0x1000_0000u64..0x7f00_0000_0000) & !0xFFFF;
+        Self { model, rng, previous: Block::zeroed(BLOCK_BYTES), heap_base }
+    }
+
+    /// Draws the next 64-byte block.
+    pub fn next_block(&mut self) -> Block {
+        let archetype = self.pick_archetype();
+        let block = self.generate(archetype);
+        self.previous = block.clone();
+        block
+    }
+
+    fn pick_archetype(&mut self) -> Archetype {
+        let weights = self.model.weights();
+        let total: f64 = weights.iter().map(|&(_, w)| w).sum();
+        assert!(total > 0.0, "value model has no positive weights");
+        let mut x = self.rng.gen::<f64>() * total;
+        for (a, w) in weights {
+            if x < w {
+                return a;
+            }
+            x -= w;
+        }
+        Archetype::DenseFp
+    }
+
+    fn generate(&mut self, archetype: Archetype) -> Block {
+        match archetype {
+            Archetype::Null => Block::zeroed(BLOCK_BYTES),
+            Archetype::SparseInt => {
+                let mut words = [0u64; WORDS];
+                let hot = self.rng.gen_range(1..=2);
+                for _ in 0..hot {
+                    let i = self.rng.gen_range(0..WORDS);
+                    words[i] = u64::from(self.rng.gen_range(1u32..4096));
+                }
+                Block::from_words(&words)
+            }
+            Archetype::SmallInt => {
+                let mut words = [0u64; WORDS];
+                for w in &mut words {
+                    // Two 32-bit lanes of small magnitudes per word.
+                    let lo = u64::from(self.rng.gen_range(0u32..65_536));
+                    let hi = u64::from(self.rng.gen_range(0u32..256));
+                    *w = lo | (hi << 32);
+                }
+                Block::from_words(&words)
+            }
+            Archetype::DenseFp => {
+                let mut words = [0u64; WORDS];
+                // Doubles of similar but not identical magnitude:
+                // exponents drawn per word from a narrow range, random
+                // mantissas — so adjacent words differ in mantissa and
+                // low exponent bits, as in real FP arrays.
+                for w in &mut words {
+                    let exponent = self.rng.gen_range(1000u64..1040) << 52;
+                    let mantissa = self.rng.gen::<u64>() & ((1 << 52) - 1);
+                    *w = exponent | mantissa;
+                }
+                Block::from_words(&words)
+            }
+            Archetype::Text => {
+                let bytes: Vec<u8> =
+                    (0..BLOCK_BYTES).map(|_| self.rng.gen_range(0x20u8..0x7F)).collect();
+                Block::from_bytes(&bytes)
+            }
+            Archetype::Pointer => {
+                let mut words = [0u64; WORDS];
+                for w in &mut words {
+                    *w = self.heap_base + u64::from(self.rng.gen_range(0u32..1 << 20)) * 8;
+                }
+                Block::from_words(&words)
+            }
+            Archetype::NearRepeat => {
+                let mut block = self.previous.clone();
+                // Mutate one or two words; everything else repeats.
+                let mutations = self.rng.gen_range(1..=2);
+                for _ in 0..mutations {
+                    let i = self.rng.gen_range(0..WORDS);
+                    let value = u64::from(self.rng.gen::<u32>());
+                    for (k, byte) in value.to_le_bytes().iter().enumerate() {
+                        let bit_base = (i * 8 + k) * 8;
+                        for b in 0..8 {
+                            block.set_bit(bit_base + b, (byte >> b) & 1 == 1);
+                        }
+                    }
+                }
+                block
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use desc_core::{ChunkSize, Chunks};
+
+    fn zero_fraction(model: ValueModel, blocks: usize) -> f64 {
+        let mut stream = model.stream(11);
+        let mut zeros = 0usize;
+        let mut total = 0usize;
+        for _ in 0..blocks {
+            let chunks = Chunks::split(&stream.next_block(), ChunkSize::PAPER_DEFAULT);
+            zeros += chunks.values().iter().filter(|&&v| v == 0).count();
+            total += chunks.len();
+        }
+        zeros as f64 / total as f64
+    }
+
+    #[test]
+    fn streams_are_deterministic() {
+        let mut a = ValueModel::mixed().stream(3);
+        let mut b = ValueModel::mixed().stream(3);
+        for _ in 0..32 {
+            assert_eq!(a.next_block(), b.next_block());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = ValueModel::mixed().stream(3);
+        let mut b = ValueModel::mixed().stream(4);
+        let same = (0..16).filter(|_| a.next_block() == b.next_block()).count();
+        assert!(same < 8, "independent seeds produced mostly identical blocks");
+    }
+
+    #[test]
+    fn mixed_model_lands_near_paper_zero_fraction() {
+        // Paper Fig. 12: ~31% zero chunks on average.
+        let z = zero_fraction(ValueModel::mixed(), 2000);
+        assert!((0.22..=0.42).contains(&z), "zero fraction {z:.3}");
+    }
+
+    #[test]
+    fn null_only_model_is_all_zero() {
+        let model = ValueModel {
+            null: 1.0,
+            sparse_int: 0.0,
+            small_int: 0.0,
+            dense_fp: 0.0,
+            text: 0.0,
+            pointer: 0.0,
+            near_repeat: 0.0,
+        };
+        let mut s = model.stream(1);
+        for _ in 0..8 {
+            assert!(s.next_block().is_null());
+        }
+    }
+
+    #[test]
+    fn fp_only_model_has_few_zero_chunks() {
+        let model = ValueModel {
+            null: 0.0,
+            sparse_int: 0.0,
+            small_int: 0.0,
+            dense_fp: 1.0,
+            text: 0.0,
+            pointer: 0.0,
+            near_repeat: 0.0,
+        };
+        let z = zero_fraction(model, 500);
+        assert!(z < 0.12, "dense FP zero fraction {z:.3}");
+    }
+
+    #[test]
+    fn near_repeat_blocks_mostly_match_previous() {
+        let model = ValueModel {
+            null: 0.0,
+            sparse_int: 0.0,
+            small_int: 0.0,
+            dense_fp: 0.5,
+            text: 0.0,
+            pointer: 0.0,
+            near_repeat: 0.5,
+        };
+        let mut s = model.stream(9);
+        let mut prev = s.next_block();
+        let mut repeats = 0usize;
+        let mut total = 0usize;
+        for _ in 0..1000 {
+            let b = s.next_block();
+            let pc = Chunks::split(&prev, ChunkSize::PAPER_DEFAULT);
+            let cc = Chunks::split(&b, ChunkSize::PAPER_DEFAULT);
+            repeats += pc.values().iter().zip(cc.values()).filter(|(a, b)| a == b).count();
+            total += cc.len();
+            prev = b;
+        }
+        let m = repeats as f64 / total as f64;
+        assert!(m > 0.40, "repeat fraction {m:.3} too low for a 50% near-repeat mixture");
+    }
+
+    #[test]
+    fn pointer_blocks_share_high_bits() {
+        let model = ValueModel {
+            null: 0.0,
+            sparse_int: 0.0,
+            small_int: 0.0,
+            dense_fp: 0.0,
+            text: 0.0,
+            pointer: 1.0,
+            near_repeat: 0.0,
+        };
+        let mut s = model.stream(2);
+        let block = s.next_block();
+        let bytes = block.as_bytes();
+        // All eight words share their top three bytes (20-bit offsets).
+        let tops: Vec<&[u8]> = bytes.chunks(8).map(|w| &w[5..8]).collect();
+        assert!(tops.windows(2).all(|p| p[0] == p[1]));
+    }
+
+    #[test]
+    fn text_blocks_are_printable_ascii() {
+        let model = ValueModel {
+            null: 0.0,
+            sparse_int: 0.0,
+            small_int: 0.0,
+            dense_fp: 0.0,
+            text: 1.0,
+            pointer: 0.0,
+            near_repeat: 0.0,
+        };
+        let mut s = model.stream(5);
+        assert!(s.next_block().as_bytes().iter().all(|b| (0x20..0x7F).contains(b)));
+    }
+
+    #[test]
+    #[should_panic(expected = "no positive weights")]
+    fn degenerate_model_rejected_at_sampling() {
+        let model = ValueModel {
+            null: 0.0,
+            sparse_int: 0.0,
+            small_int: 0.0,
+            dense_fp: 0.0,
+            text: 0.0,
+            pointer: 0.0,
+            near_repeat: 0.0,
+        };
+        let _ = model.stream(0).next_block();
+    }
+}

@@ -1,0 +1,54 @@
+//! Demonstrates the paper's §3.2.3 claim: DESC transfer errors corrupt
+//! whole chunks, yet the interleaved SECDED layout still corrects every
+//! single-chunk fault and detects double faults.
+//!
+//! ```text
+//! cargo run --example ecc_fault_injection
+//! ```
+
+use desc::core::Block;
+use desc::ecc::inject::FaultInjector;
+use desc::ecc::InterleavedBlock;
+
+fn main() {
+    let payload: Vec<u8> = (0..64).map(|i| (i * 31 + 7) as u8).collect();
+    let block = Block::from_bytes(&payload);
+    let clean = InterleavedBlock::encode_paper(&block);
+    println!("encoded: {clean}\n");
+
+    let mut injector = FaultInjector::new(0xDE5C);
+    let trials = 2_000;
+
+    // Single chunk faults: one DESC toggle goes wrong → up to 4 bits.
+    let mut corrected = 0;
+    for _ in 0..trials {
+        let (chunk, mask) = injector.chunk_fault(clean.chunks().len(), 4);
+        let mut bad = clean.clone();
+        bad.corrupt_chunk(chunk, mask);
+        let decoded = bad.decode();
+        assert!(decoded.usable() && decoded.block == block, "single fault must correct");
+        corrected += 1;
+    }
+    println!("single-chunk faults injected: {trials}, corrected: {corrected} (100%)");
+
+    // Double chunk faults: corrected when segments are disjoint,
+    // otherwise *detected* — never silently wrong.
+    let mut ok = 0;
+    let mut detected = 0;
+    for _ in 0..trials {
+        let ((i, m1), (j, m2)) = injector.double_chunk_fault(clean.chunks().len(), 4);
+        let mut bad = clean.clone();
+        bad.corrupt_chunk(i, m1);
+        bad.corrupt_chunk(j, m2);
+        let decoded = bad.decode();
+        if decoded.usable() {
+            assert_eq!(decoded.block, block, "usable decode must be correct");
+            ok += 1;
+        } else {
+            detected += 1;
+        }
+    }
+    println!(
+        "double-chunk faults injected: {trials}, corrected: {ok}, detected: {detected}, silent corruptions: 0"
+    );
+}

@@ -1,0 +1,45 @@
+//! Per-wire activity balance: binary encoding concentrates switching
+//! on the "busy" bit positions of the data, while DESC spreads exactly
+//! one toggle per unskipped chunk across all wires — better for
+//! electromigration and IR-drop margins, not just total energy.
+//!
+//! ```text
+//! cargo run --release -p desc --example wire_activity
+//! ```
+
+use desc::core::analysis::ActivitySummary;
+use desc::core::schemes::{BinaryScheme, DescScheme, SkipMode};
+use desc::core::{ChunkSize, TransferScheme};
+use desc::workloads::BenchmarkId;
+
+fn main() {
+    let profile = BenchmarkId::RayTrace.profile(); // pointer-heavy
+    let blocks = 4_000;
+
+    let mut binary = BinaryScheme::new(64);
+    let mut desc = DescScheme::new(128, ChunkSize::new(4).expect("valid"), SkipMode::Zero);
+    let mut stream = profile.value_stream(17);
+    for _ in 0..blocks {
+        let block = stream.next_block();
+        binary.transfer(&block);
+        desc.transfer(&block);
+    }
+
+    println!("Per-wire switching over {blocks} {} blocks:\n", profile.name);
+    for (name, counts) in [
+        ("64-wire binary", binary.wire_transitions()),
+        ("128-wire zero-skip DESC", desc.wire_transitions()),
+    ] {
+        let s = ActivitySummary::from_counts(&counts);
+        println!(
+            "{name:>24}: mean {:>8.1}  busiest {:>7}  quietest {:>6}  imbalance {:.2}x  CV {:.2}",
+            s.mean(),
+            s.max(),
+            s.min(),
+            s.imbalance(),
+            s.variation()
+        );
+    }
+    println!("\nBinary's busiest wire switches far above the mean (hot low-order");
+    println!("bits); DESC charges every wire at most one toggle per block.");
+}

@@ -1,0 +1,46 @@
+//! # desc — umbrella crate
+//!
+//! Re-exports every crate of the DESC reproduction workspace so
+//! examples and downstream users need a single dependency, plus the
+//! handful of types almost every user touches.
+//!
+//! DESC (Bojnordi & Ipek, MICRO 2013) transfers cache blocks by
+//! encoding each data chunk as the delay between two pulses, making
+//! interconnect switching activity independent of data content.
+//!
+//! ```
+//! use desc::{Block, ChunkSize, TransferScheme};
+//! use desc::core::schemes::{DescScheme, SkipMode};
+//!
+//! let mut scheme = DescScheme::new(128, ChunkSize::new(4).unwrap(), SkipMode::Zero);
+//! let cost = scheme.transfer(&Block::zeroed(64));
+//! assert_eq!(cost.data_transitions, 0); // a null block is all skips
+//! ```
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the system inventory and
+//! modelling decisions, and `EXPERIMENTS.md` for paper-vs-measured
+//! results. The `repro` binary (`desc-experiments`) regenerates every
+//! table and figure of the paper.
+
+#![forbid(unsafe_code)]
+
+pub use desc_cacti as cacti;
+pub use desc_core as core;
+pub use desc_ecc as ecc;
+pub use desc_experiments as experiments;
+pub use desc_mcpat as mcpat;
+pub use desc_sim as sim;
+pub use desc_workloads as workloads;
+
+pub use desc_core::{Block, ChunkSize, CostSummary, TransferCost, TransferScheme};
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn top_level_reexports_resolve() {
+        let block = crate::Block::zeroed(64);
+        assert_eq!(block.byte_len(), 64);
+        let size = crate::ChunkSize::new(4).expect("valid");
+        assert_eq!(size.value_count(), 16);
+    }
+}
