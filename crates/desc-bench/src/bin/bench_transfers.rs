@@ -1,0 +1,117 @@
+//! `bench_transfers` — dependency-free throughput harness for the
+//! cycle-stepped DESC link hot path.
+//!
+//! ```text
+//! cargo run --release -p desc-bench --bin bench_transfers [-- OUTPUT.json]
+//! ```
+//!
+//! Measures steady-state `Link::transfer` throughput (transfers/sec
+//! and payload bytes/sec) for each skip mode on the paper's 128-wire,
+//! 4-bit-chunk link carrying Ocean-profile 64-byte blocks, and writes
+//! `BENCH_link.json` recording both the frozen pre-optimisation
+//! baseline and the current numbers side by side.
+//!
+//! Timing uses `std::time::Instant` only: each mode is warmed up and
+//! then timed over several repetitions, keeping the best (least
+//! scheduler-disturbed) repetition.
+
+use desc_core::protocol::{Link, LinkConfig, TraceCapture};
+use desc_core::schemes::SkipMode;
+use desc_core::{Block, ChunkSize};
+use desc_workloads::BenchmarkId;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Pre-optimisation throughput on this harness's exact workload
+/// (recorded before the hot-path rework: `Vec<bool>` traces always
+/// captured, per-transfer allocations, O(rounds²) chained decode).
+const BASELINE: [(SkipMode, f64); 3] = [
+    (SkipMode::None, 106_796.0),
+    (SkipMode::Zero, 104_566.0),
+    (SkipMode::LastValue, 98_700.0),
+];
+
+const BLOCK_BYTES: f64 = 64.0;
+const POOL: usize = 256;
+const TRANSFERS_PER_REP: usize = 16_000;
+const REPS: usize = 5;
+
+fn mode_name(mode: SkipMode) -> &'static str {
+    match mode {
+        SkipMode::None => "basic",
+        SkipMode::Zero => "zero_skip",
+        SkipMode::LastValue => "last_value_skip",
+    }
+}
+
+fn bench_mode(mode: SkipMode, blocks: &[Block]) -> f64 {
+    let cfg = LinkConfig {
+        wires: 128,
+        chunk_size: ChunkSize::PAPER_DEFAULT,
+        mode,
+        wire_delay: 2,
+        trace: TraceCapture::Off,
+    };
+    let mut link = Link::new(cfg);
+    // Warmup: fault in the pool and let the scratch buffers size
+    // themselves.
+    for b in blocks {
+        black_box(link.transfer(b).cost.cycles);
+    }
+    let mut best = f64::MAX;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        for i in 0..TRANSFERS_PER_REP {
+            black_box(link.transfer(&blocks[i % blocks.len()]).cost.cycles);
+        }
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    TRANSFERS_PER_REP as f64 / best
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_link.json".to_owned());
+    let mut stream = BenchmarkId::Ocean.profile().value_stream(2013);
+    let blocks: Vec<Block> = (0..POOL).map(|_| stream.next_block()).collect();
+
+    let mut entries = String::new();
+    println!(
+        "{:<16} {:>14} {:>14} {:>16} {:>8}",
+        "mode", "baseline t/s", "current t/s", "current bytes/s", "speedup"
+    );
+    for (i, &(mode, baseline_tps)) in BASELINE.iter().enumerate() {
+        let tps = bench_mode(mode, &blocks);
+        let speedup = tps / baseline_tps;
+        println!(
+            "{:<16} {:>14.0} {:>14.0} {:>16.0} {:>7.2}x",
+            mode_name(mode),
+            baseline_tps,
+            tps,
+            tps * BLOCK_BYTES,
+            speedup
+        );
+        if i > 0 {
+            entries.push_str(",\n");
+        }
+        entries.push_str(&format!(
+            "    {{\n      \"mode\": \"{}\",\n      \"baseline_transfers_per_sec\": {:.0},\n      \"baseline_bytes_per_sec\": {:.0},\n      \"current_transfers_per_sec\": {:.1},\n      \"current_bytes_per_sec\": {:.1},\n      \"speedup\": {:.3}\n    }}",
+            mode_name(mode),
+            baseline_tps,
+            baseline_tps * BLOCK_BYTES,
+            tps,
+            tps * BLOCK_BYTES,
+            speedup
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"link_transfers\",\n  \"config\": {{\n    \"wires\": 128,\n    \"chunk_bits\": 4,\n    \"wire_delay\": 2,\n    \"block_bytes\": {BLOCK_BYTES:.0},\n    \"workload\": \"ocean value stream, seed 2013\",\n    \"transfers_per_rep\": {TRANSFERS_PER_REP},\n    \"reps\": {REPS}\n  }},\n  \"results\": [\n{entries}\n  ]\n}}\n"
+    );
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => println!("\nwrote {out_path}"),
+        Err(e) => {
+            eprintln!("failed to write {out_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,6 +1,10 @@
 //! Property-based tests for the cache model: the physical
 //! monotonicities every valid calibration must respect.
 
+// Gated: compiled only with `--features proptest`, which requires
+// network access to fetch the `proptest` crate (see Cargo.toml).
+#![cfg(feature = "proptest")]
+
 use desc_cacti::{CacheConfig, CacheModel, DeviceType, Signaling};
 use proptest::prelude::*;
 

@@ -58,6 +58,17 @@ impl Block {
         Self { bytes: bytes.to_vec() }
     }
 
+    /// Creates a block that takes ownership of `bytes` (no copy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is empty.
+    #[must_use]
+    pub fn from_vec(bytes: Vec<u8>) -> Self {
+        assert!(!bytes.is_empty(), "a block must contain at least one byte");
+        Self { bytes }
+    }
+
     /// Creates a block from little-endian `u64` words (convenient for
     /// synthetic workload generators).
     ///
@@ -129,14 +140,18 @@ impl Block {
     #[must_use]
     pub fn bits(&self, start: usize, width: usize) -> u16 {
         assert!(width > 0 && width <= 16, "bit field width {width} out of range");
-        let mut v = 0u16;
-        for k in 0..width {
-            let i = start + k;
-            if i < self.bit_len() && self.bit(i) {
-                v |= 1 << k;
+        // A ≤16-bit field at any bit offset spans at most three bytes
+        // (7 + 16 = 23 bits); gather them and shift once.
+        let first = start / 8;
+        let shift = start % 8;
+        let mut acc = 0u32;
+        if let Some(tail) = self.bytes.get(first..) {
+            for (k, &b) in tail.iter().take(3).enumerate() {
+                acc |= u32::from(b) << (8 * k);
             }
         }
-        v
+        let mask = if width == 16 { 0xFFFF } else { (1u32 << width) - 1 };
+        ((acc >> shift) & mask) as u16
     }
 
     /// Writes `width` bits of `value` starting at bit `start`; bits past
@@ -147,10 +162,15 @@ impl Block {
     /// Panics if `width` is zero or greater than 16.
     pub fn set_bits(&mut self, start: usize, width: usize, value: u16) {
         assert!(width > 0 && width <= 16, "bit field width {width} out of range");
-        for k in 0..width {
-            let i = start + k;
-            if i < self.bit_len() {
-                self.set_bit(i, (value >> k) & 1 == 1);
+        let mask = if width == 16 { 0xFFFF } else { (1u32 << width) - 1 };
+        let first = start / 8;
+        let shift = start % 8;
+        let field_mask = mask << shift;
+        let field = (u32::from(value) & mask) << shift;
+        for k in 0..3 {
+            if let Some(b) = self.bytes.get_mut(first + k) {
+                let bm = (field_mask >> (8 * k)) as u8;
+                *b = (*b & !bm) | (field >> (8 * k)) as u8;
             }
         }
     }

@@ -27,6 +27,8 @@
 //! * [`protocol`] — a cycle-stepped transmitter/receiver pair that
 //!   produces real signal traces (paper Fig. 5) and is used to
 //!   cross-check the analytic cost model.
+//! * [`rng`] — the in-tree deterministic PRNG every crate in the
+//!   workspace uses (the build is hermetic: no external dependencies).
 //! * [`circuits`] — toggle generator / detector / regenerator behavioural
 //!   models (paper Fig. 8).
 //! * [`synthesis`] — area / peak-power / delay estimates for a DESC
@@ -59,6 +61,7 @@ pub mod chunk;
 pub mod circuits;
 pub mod cost;
 pub mod protocol;
+pub mod rng;
 pub mod scheme;
 pub mod schemes;
 pub mod synthesis;

@@ -236,9 +236,8 @@ mod tests {
     /// plain zero skipping.
     #[test]
     fn adaptive_gains_are_marginal_on_uniform_values() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(3);
+        use crate::rng::Rng64;
+        let mut rng = Rng64::seed_from_u64(3);
         let mut adaptive = AdaptiveDescScheme::new(128, c4()).without_sync_strobe();
         let mut zero = DescScheme::new(128, c4(), SkipMode::Zero).without_sync_strobe();
         let mut a_total = 0u64;
@@ -248,7 +247,7 @@ mod tests {
             let mut bytes = [0u8; 64];
             for nibble in 0..128 {
                 let v: u8 =
-                    if rng.gen::<f64>() < 0.3 { 0 } else { rng.gen_range(1..16) };
+                    if rng.gen::<f64>() < 0.3 { 0 } else { rng.gen_range(1u8..16) };
                 bytes[nibble / 2] |= v << ((nibble % 2) * 4);
             }
             let block = Block::from_bytes(&bytes);

@@ -1,7 +1,7 @@
 //! Edge-case integration tests for the codecs: degenerate geometries,
 //! extreme chunk sizes, and long-running wire-state consistency.
 
-use desc_core::protocol::{Link, LinkConfig};
+use desc_core::protocol::{Link, LinkConfig, TraceCapture};
 use desc_core::schemes::{
     BinaryScheme, BusInvertScheme, DescScheme, DzcScheme, SchemeKind, SkipMode,
 };
@@ -25,6 +25,7 @@ fn one_wire_link_still_decodes() {
         chunk_size: ChunkSize::new(4).expect("valid"),
         mode: SkipMode::Zero,
         wire_delay: 1,
+        trace: TraceCapture::Off,
     };
     let mut link = Link::new(cfg);
     let block = Block::from_bytes(&[0x5A, 0x00, 0xFF, 0x13]);
@@ -43,6 +44,7 @@ fn more_wires_than_chunks_is_fine() {
         chunk_size: ChunkSize::new(4).expect("valid"),
         mode: SkipMode::Zero,
         wire_delay: 0,
+        trace: TraceCapture::Off,
     };
     assert_eq!(Link::new(cfg).transfer(&block).decoded, block);
 }
@@ -118,6 +120,7 @@ fn eight_bit_chunks_roundtrip_through_the_protocol() {
         chunk_size: ChunkSize::new(8).expect("valid"),
         mode: SkipMode::Zero,
         wire_delay: 2,
+        trace: TraceCapture::Off,
     };
     let mut link = Link::new(cfg);
     let block = Block::from_bytes(&(0..64).map(|i| (255 - i) as u8).collect::<Vec<_>>());
@@ -136,6 +139,7 @@ fn three_bit_chunks_with_ragged_final_chunk() {
         chunk_size: ChunkSize::new(3).expect("valid"),
         mode: SkipMode::LastValue,
         wire_delay: 1,
+        trace: TraceCapture::Off,
     };
     let mut link = Link::new(cfg);
     let block = Block::from_bytes(&(0..64).map(|i| (i * 89 + 3) as u8).collect::<Vec<_>>());

@@ -5,7 +5,11 @@
 //! count is data-independent, the cycle-stepped protocol agrees with
 //! the analytic cost model, and bus-invert respects its flip bound.
 
-use desc_core::protocol::{Link, LinkConfig};
+// Gated: compiled only with `--features proptest`, which requires
+// network access to fetch the `proptest` crate (see Cargo.toml).
+#![cfg(feature = "proptest")]
+
+use desc_core::protocol::{Link, LinkConfig, TraceCapture};
 use desc_core::schemes::{
     BinaryScheme, BusInvertScheme, DescScheme, DzcScheme, EncodedZeroSkipBusInvertScheme,
     SkipMode, ZeroSkipBusInvertScheme,
@@ -49,6 +53,7 @@ proptest! {
             chunk_size: ChunkSize::new(chunk_bits).expect("valid"),
             mode,
             wire_delay: delay,
+            trace: TraceCapture::Off,
         };
         let mut link = Link::new(cfg);
         let out = link.transfer(&block);
@@ -67,6 +72,7 @@ proptest! {
             chunk_size: ChunkSize::new(4).expect("valid"),
             mode,
             wire_delay: 2,
+            trace: TraceCapture::Off,
         };
         let mut link = Link::new(cfg);
         for block in &blocks {
@@ -84,7 +90,13 @@ proptest! {
         wires in prop_oneof![Just(8usize), Just(16), Just(32), Just(64), Just(128)],
     ) {
         let chunk = ChunkSize::new(4).expect("valid");
-        let mut link = Link::new(LinkConfig { wires, chunk_size: chunk, mode, wire_delay: 0 });
+        let mut link = Link::new(LinkConfig {
+            wires,
+            chunk_size: chunk,
+            mode,
+            wire_delay: 0,
+            trace: TraceCapture::Off,
+        });
         let mut analytic = DescScheme::new(wires, chunk, mode).without_sync_strobe();
         for block in &blocks {
             let proto = link.transfer(block).cost;

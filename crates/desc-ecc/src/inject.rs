@@ -5,8 +5,7 @@
 //! encoding) and whole chunks (the DESC fault model — one mistimed
 //! toggle garbles a chunk).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use desc_core::rng::Rng64;
 
 /// A deterministic fault injector.
 ///
@@ -22,7 +21,7 @@ use rand::{Rng, SeedableRng};
 /// ```
 #[derive(Clone, Debug)]
 pub struct FaultInjector {
-    rng: StdRng,
+    rng: Rng64,
 }
 
 impl FaultInjector {
@@ -30,7 +29,7 @@ impl FaultInjector {
     /// sequence).
     #[must_use]
     pub fn new(seed: u64) -> Self {
-        Self { rng: StdRng::seed_from_u64(seed) }
+        Self { rng: Rng64::seed_from_u64(seed) }
     }
 
     /// Picks a random bit index within a codeword of `bits` bits.

@@ -1,6 +1,10 @@
 //! Property-based tests for the SECDED codes and the interleaved
 //! layout.
 
+// Gated: compiled only with `--features proptest`, which requires
+// network access to fetch the `proptest` crate (see Cargo.toml).
+#![cfg(feature = "proptest")]
+
 use desc_core::Block;
 use desc_ecc::{DecodeOutcome, InterleavedBlock, SecdedCode};
 use proptest::prelude::*;

@@ -16,6 +16,7 @@ fn main() -> ExitCode {
     let mut scale = Scale::full();
     let mut names: Vec<String> = Vec::new();
     let mut csv = false;
+    let mut jobs: Option<usize> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -43,6 +44,13 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--jobs" | "-j" => match iter.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) if n > 0 => jobs = Some(n),
+                _ => {
+                    eprintln!("--jobs needs a positive integer argument");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--list" | "-l" => {
                 for n in experiment_names() {
                     println!("{n}");
@@ -52,7 +60,9 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--quick|--tiny] [--csv] [--seed N] [--accesses N] [--apps N] \
-                     <experiment...|all>\n\
+                     [--jobs N] <experiment...|all>\n\
+                     --jobs N  spread (app x scheme) sweeps over N threads; results are\n\
+                     bit-identical for any N (default: all hardware threads)\n\
                      experiments: {}",
                     experiment_names().join(" ")
                 );
@@ -66,6 +76,11 @@ fn main() -> ExitCode {
         eprintln!("no experiments requested; try `repro --help`");
         return ExitCode::FAILURE;
     }
+    // Sweeps are deterministic for any job count, so defaulting to all
+    // hardware threads is safe.
+    scale.jobs = jobs.unwrap_or_else(|| {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    });
     let known = experiment_names();
     for name in &names {
         if !known.contains(&name.as_str()) {

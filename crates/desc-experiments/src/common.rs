@@ -19,25 +19,36 @@ pub struct Scale {
     pub apps: usize,
     /// Master seed for all deterministic generators.
     pub seed: u64,
+    /// Worker threads for (app × configuration) sweeps. Every cell is
+    /// seeded independently from `seed`, so results are bit-identical
+    /// for any job count; `1` runs serially. `0` is treated as `1`.
+    pub jobs: usize,
 }
 
 impl Scale {
     /// Full reproduction scale (all apps, 20 000 accesses each).
     #[must_use]
     pub fn full() -> Self {
-        Self { accesses: 20_000, apps: 16, seed: 2013 }
+        Self { accesses: 20_000, apps: 16, seed: 2013, jobs: 1 }
     }
 
     /// Reduced scale for interactive runs and benches.
     #[must_use]
     pub fn quick() -> Self {
-        Self { accesses: 4_000, apps: 4, seed: 2013 }
+        Self { accesses: 4_000, apps: 4, seed: 2013, jobs: 1 }
     }
 
     /// Minimal scale for unit tests.
     #[must_use]
     pub fn tiny() -> Self {
-        Self { accesses: 800, apps: 2, seed: 2013 }
+        Self { accesses: 800, apps: 2, seed: 2013, jobs: 1 }
+    }
+
+    /// Returns this scale with `jobs` worker threads for sweeps.
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
     }
 
     /// The parallel-suite subset selected by this scale.
@@ -138,6 +149,70 @@ pub fn run_app(kind: SchemeKind, profile: &BenchmarkProfile, scale: &Scale) -> A
     )
 }
 
+/// Runs every cell of an (app × configuration) sweep, fanned across
+/// `scale.jobs` worker threads.
+///
+/// `cell(config, profile)` must derive everything from its arguments
+/// and `scale.seed` (as [`run_app`]/[`run_custom`] do — each cell
+/// constructs its own independently seeded simulation), so the result
+/// is **bit-identical to the serial loop for any job count**: the
+/// thread schedule only decides *which* worker computes a cell, never
+/// its value, and cells are collected by index. Results are indexed
+/// `[profile][config]`.
+#[must_use]
+pub fn run_matrix<C, F>(
+    configs: &[C],
+    profiles: &[BenchmarkProfile],
+    scale: &Scale,
+    cell: F,
+) -> Vec<Vec<AppRun>>
+where
+    C: Sync,
+    F: Fn(&C, &BenchmarkProfile) -> AppRun + Sync,
+{
+    let n_cells = profiles.len() * configs.len();
+    let jobs = scale.jobs.max(1).min(n_cells.max(1));
+    if jobs <= 1 {
+        return profiles
+            .iter()
+            .map(|p| configs.iter().map(|c| cell(c, p)).collect())
+            .collect();
+    }
+    let mut slots: Vec<Option<AppRun>> = Vec::new();
+    slots.resize_with(n_cells, || None);
+    {
+        // Hand each worker a disjoint set of slots via a work queue;
+        // a slot index identifies its (profile, config) pair.
+        let slot_refs: Vec<std::sync::Mutex<&mut Option<AppRun>>> =
+            slots.iter_mut().map(std::sync::Mutex::new).collect();
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..jobs {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= n_cells {
+                        break;
+                    }
+                    let (p, c) = (i / configs.len(), i % configs.len());
+                    let run = cell(&configs[c], &profiles[p]);
+                    **slot_refs[i].lock().expect("worker panicked") = Some(run);
+                });
+            }
+        });
+    }
+    let mut rows = Vec::with_capacity(profiles.len());
+    let mut it = slots.into_iter();
+    for _ in 0..profiles.len() {
+        rows.push(
+            it.by_ref()
+                .take(configs.len())
+                .map(|r| r.expect("every sweep cell is computed exactly once"))
+                .collect(),
+        );
+    }
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -164,6 +239,30 @@ mod tests {
     fn desc_pays_static_overhead() {
         assert!(scheme_static_overhead(SchemeKind::ZeroSkippedDesc) > 1.02);
         assert_eq!(scheme_static_overhead(SchemeKind::ConventionalBinary), 1.0);
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial_byte_for_byte() {
+        // The acceptance bar for the threaded sweep: any job count
+        // renders the exact same figure text as the serial loop.
+        let serial = Scale::tiny();
+        let parallel = Scale::tiny().with_jobs(4);
+        for name in ["fig16", "fig20", "fig21"] {
+            let a = crate::run_experiment(name, &serial).render();
+            let b = crate::run_experiment(name, &parallel).render();
+            assert_eq!(a, b, "{name} diverged under --jobs 4");
+        }
+    }
+
+    #[test]
+    fn run_matrix_handles_more_jobs_than_cells() {
+        let scale = Scale::tiny().with_jobs(64);
+        let suite = scale.suite();
+        let kinds = [SchemeKind::ConventionalBinary];
+        let m = run_matrix(&kinds, &suite[..1], &scale, |&k, p| run_app(k, p, &scale));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].len(), 1);
+        assert!(m[0][0].l2_energy() > 0.0);
     }
 
     #[test]

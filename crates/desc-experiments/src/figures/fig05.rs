@@ -2,7 +2,7 @@
 //! 1) on a single data wire, produced by the cycle-stepped protocol.
 
 use crate::table::Table;
-use desc_core::protocol::{Link, LinkConfig};
+use desc_core::protocol::{Link, LinkConfig, TraceCapture};
 use desc_core::schemes::SkipMode;
 use desc_core::{Block, ChunkSize};
 
@@ -14,6 +14,7 @@ pub fn run() -> Table {
         chunk_size: ChunkSize::new(3).expect("valid"),
         mode: SkipMode::None,
         wire_delay: 0,
+        trace: TraceCapture::Packed,
     };
     let mut link = Link::new(cfg);
     // Chunks 2, 1 (and a padded 0) LSB-first in one byte.
@@ -23,7 +24,8 @@ pub fn run() -> Table {
         "Fig. 5: transmitting chunks (2, 1) over one wire — waveform",
         &["Signal trace"],
     );
-    for line in out.trace.to_string().lines() {
+    let trace = out.trace.as_ref().expect("fig. 5 link captures its waveform");
+    for line in trace.to_string().lines() {
         t.row(&[line]);
     }
     t.row_owned(vec![format!(

@@ -3,27 +3,39 @@
 //! The paper's headline: zero-skipped DESC reduces L2 energy 1.81×
 //! (i.e. to ≈0.55) on average.
 
-use crate::common::{run_app, Scale};
+use crate::common::{run_app, run_matrix, Scale};
 use crate::table::{geomean, r2, Table};
 use desc_core::schemes::SchemeKind;
+
+/// Index of the normalisation baseline within [`SchemeKind::ALL`].
+fn binary_index() -> usize {
+    SchemeKind::ALL
+        .iter()
+        .position(|&k| k == SchemeKind::ConventionalBinary)
+        .expect("conventional binary is always part of the scheme list")
+}
+
+/// Per-app, per-scheme L2 energies for the whole sweep, computed
+/// across `scale.jobs` workers (indexed `[app][scheme]`).
+fn energy_matrix(scale: &Scale) -> Vec<Vec<f64>> {
+    let suite = scale.suite();
+    run_matrix(&SchemeKind::ALL, &suite, scale, |&kind, p| run_app(kind, p, scale))
+        .into_iter()
+        .map(|row| row.into_iter().map(|r| r.l2_energy()).collect())
+        .collect()
+}
 
 /// Per-scheme geomean of normalised L2 energy — the numbers behind
 /// the figure, exposed for tests and EXPERIMENTS.md.
 #[must_use]
 pub fn scheme_geomeans(scale: &Scale) -> Vec<(SchemeKind, f64)> {
-    let suite = scale.suite();
-    let mut baselines = Vec::new();
-    for p in &suite {
-        baselines.push(run_app(SchemeKind::ConventionalBinary, p, scale).l2_energy());
-    }
+    let energies = energy_matrix(scale);
+    let base = binary_index();
     SchemeKind::ALL
         .into_iter()
-        .map(|kind| {
-            let ratios: Vec<f64> = suite
-                .iter()
-                .zip(&baselines)
-                .map(|(p, &base)| run_app(kind, p, scale).l2_energy() / base)
-                .collect();
+        .enumerate()
+        .map(|(i, kind)| {
+            let ratios: Vec<f64> = energies.iter().map(|row| row[i] / row[base]).collect();
             (kind, geomean(&ratios))
         })
         .collect()
@@ -41,12 +53,13 @@ pub fn run(scale: &Scale) -> Table {
         &headers,
     );
 
+    let energies = energy_matrix(scale);
+    let base = binary_index();
     let mut per_scheme: Vec<Vec<f64>> = vec![Vec::new(); SchemeKind::ALL.len()];
-    for p in &suite {
-        let base = run_app(SchemeKind::ConventionalBinary, p, scale).l2_energy();
+    for (p, row) in suite.iter().zip(&energies) {
         let mut cells = vec![p.name.to_owned()];
-        for (i, kind) in SchemeKind::ALL.into_iter().enumerate() {
-            let ratio = run_app(kind, p, scale).l2_energy() / base;
+        for (i, _) in SchemeKind::ALL.into_iter().enumerate() {
+            let ratio = row[i] / row[base];
             per_scheme[i].push(ratio);
             cells.push(r2(ratio));
         }
@@ -68,7 +81,9 @@ mod tests {
     #[test]
     fn headline_orderings_hold() {
         let geo: std::collections::HashMap<_, _> =
-            scheme_geomeans(&Scale { accesses: 2_500, apps: 3, seed: 1 }).into_iter().collect();
+            scheme_geomeans(&Scale { accesses: 2_500, apps: 3, seed: 1, jobs: 2 })
+                .into_iter()
+                .collect();
         let g = |k: SchemeKind| geo[&k];
         // Binary is the unit baseline.
         assert!((g(SchemeKind::ConventionalBinary) - 1.0).abs() < 1e-9);

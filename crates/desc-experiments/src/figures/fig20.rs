@@ -2,7 +2,7 @@
 //! normalised to binary encoding (paper: DESC variants within 2%,
 //! wire-overhead baselines within 1%).
 
-use crate::common::{run_app, Scale};
+use crate::common::{run_app, run_matrix, Scale};
 use crate::table::{geomean, r3, Table};
 use desc_core::schemes::SchemeKind;
 
@@ -14,16 +14,17 @@ pub fn run(scale: &Scale) -> Table {
         "Fig. 20: execution time by transfer technique (normalised to binary)",
         &["Scheme", "Normalised execution time"],
     );
-    let baselines: Vec<f64> = suite
-        .iter()
-        .map(|p| run_app(SchemeKind::ConventionalBinary, p, scale).result.exec_time_s)
-        .collect();
-    for kind in SchemeKind::ALL {
-        let ratios: Vec<f64> = suite
-            .iter()
-            .zip(&baselines)
-            .map(|(p, &b)| run_app(kind, p, scale).result.exec_time_s / b)
+    let times: Vec<Vec<f64>> =
+        run_matrix(&SchemeKind::ALL, &suite, scale, |&kind, p| run_app(kind, p, scale))
+            .into_iter()
+            .map(|row| row.into_iter().map(|r| r.result.exec_time_s).collect())
             .collect();
+    let base = SchemeKind::ALL
+        .iter()
+        .position(|&k| k == SchemeKind::ConventionalBinary)
+        .expect("conventional binary is always part of the scheme list");
+    for (i, kind) in SchemeKind::ALL.into_iter().enumerate() {
+        let ratios: Vec<f64> = times.iter().map(|row| row[i] / row[base]).collect();
         t.row_owned(vec![kind.label().into(), r3(geomean(&ratios))]);
     }
     t.note("paper: zero-/last-value-skipped DESC add <2%; baselines ~1%");
@@ -36,7 +37,7 @@ mod tests {
 
     #[test]
     fn overheads_are_small() {
-        let t = run(&Scale { accesses: 2_500, apps: 3, seed: 1 });
+        let t = run(&Scale { accesses: 2_500, apps: 3, seed: 1, jobs: 2 });
         for row in 0..t.row_count() {
             let ratio: f64 = t.cell(row, 1).expect("ratio").parse().expect("number");
             assert!(

@@ -2,7 +2,7 @@
 //! zero-skipped DESC on 64- and 128-wire data buses. Paper: DESC adds
 //! 31.2 cycles at 64 wires and 8.45 cycles at 128 wires.
 
-use crate::common::{run_custom, Scale};
+use crate::common::{run_custom, run_matrix, Scale};
 use crate::table::{r2, Table};
 use desc_core::schemes::{BinaryScheme, DescScheme, SkipMode};
 use desc_core::{ChunkSize, TransferScheme};
@@ -26,13 +26,13 @@ pub fn run(scale: &Scale) -> Table {
     let cfg = SimConfig::paper_multithreaded();
     let mut sums = [0.0f64; 4];
     let suite = scale.suite();
-    for p in &suite {
+    let configs = [(64, false), (128, false), (64, true), (128, true)];
+    let matrix = run_matrix(&configs, &suite, scale, |&(wires, desc), p| {
+        run_custom(scheme_for(wires, desc), cfg, p, scale, 1.0)
+    });
+    for (p, row) in suite.iter().zip(&matrix) {
         let mut cells = vec![p.name.to_owned()];
-        for (i, (wires, desc)) in [(64, false), (128, false), (64, true), (128, true)]
-            .into_iter()
-            .enumerate()
-        {
-            let run = run_custom(scheme_for(wires, desc), cfg, p, scale, 1.0);
+        for (i, run) in row.iter().enumerate() {
             sums[i] += run.result.avg_hit_latency_cycles;
             cells.push(r2(run.result.avg_hit_latency_cycles));
         }
@@ -56,7 +56,7 @@ mod tests {
 
     #[test]
     fn latency_gaps_follow_the_paper_shape() {
-        let t = run(&Scale { accesses: 2_000, apps: 3, seed: 1 });
+        let t = run(&Scale { accesses: 2_000, apps: 3, seed: 1, jobs: 2 });
         let last = t.row_count() - 1;
         let get = |c: usize| -> f64 { t.cell(last, c).expect("avg").parse().expect("number") };
         let (b64, b128, d64, d128) = (get(1), get(2), get(3), get(4));

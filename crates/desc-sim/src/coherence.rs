@@ -308,9 +308,8 @@ mod tests {
 
     #[test]
     fn invariants_hold_under_random_traffic() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(5);
+        use desc_core::rng::Rng64;
+        let mut rng = Rng64::seed_from_u64(5);
         let mut d = Directory::new(8);
         for _ in 0..20_000 {
             let core = rng.gen_range(0..8u8);

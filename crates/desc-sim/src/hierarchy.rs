@@ -9,9 +9,8 @@
 
 use crate::cache::SetAssocCache;
 use crate::coherence::{CoherenceStats, Directory};
+use desc_core::rng::Rng64;
 use desc_workloads::Access;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Statistics from filtering a CPU stream through the L1 layer.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -154,7 +153,7 @@ impl CoreComplex {
 #[derive(Clone, Debug)]
 pub struct CpuStream {
     inner: desc_workloads::TraceGenerator,
-    rng: StdRng,
+    rng: Rng64,
     /// Private accesses emitted per shared (L2-bound) access.
     burst: u32,
     burst_left: u32,
@@ -169,7 +168,7 @@ impl CpuStream {
     pub fn new(profile: &desc_workloads::BenchmarkProfile, burst: u32, seed: u64) -> Self {
         Self {
             inner: profile.trace(seed),
-            rng: StdRng::seed_from_u64(seed ^ 0xABCD_EF01),
+            rng: Rng64::seed_from_u64(seed ^ 0xABCD_EF01),
             burst,
             burst_left: 0,
             pending: None,

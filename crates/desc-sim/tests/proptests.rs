@@ -1,5 +1,9 @@
 //! Property-based tests for the simulator substrates.
 
+// Gated: compiled only with `--features proptest`, which requires
+// network access to fetch the `proptest` crate (see Cargo.toml).
+#![cfg(feature = "proptest")]
+
 use desc_sim::bank::BankScheduler;
 use desc_sim::coherence::Directory;
 use desc_sim::dram::Dram;

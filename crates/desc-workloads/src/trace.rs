@@ -8,8 +8,7 @@
 //! Niagara-like machine's eight cores sharing the L2.
 
 use crate::profile::BenchmarkProfile;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use desc_core::rng::Rng64;
 
 /// One L2 access.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -37,7 +36,7 @@ pub struct Access {
 /// ```
 #[derive(Clone, Debug)]
 pub struct TraceGenerator {
-    rng: StdRng,
+    rng: Rng64,
     cores: usize,
     hot_blocks: u64,
     total_blocks: u64,
@@ -55,7 +54,7 @@ impl TraceGenerator {
     /// Creates a generator for `profile` with a deterministic `seed`.
     #[must_use]
     pub fn new(profile: &BenchmarkProfile, seed: u64) -> Self {
-        let rng = StdRng::seed_from_u64(seed ^ 0xD1B5_4A32_D192_ED03);
+        let rng = Rng64::seed_from_u64(seed ^ 0xD1B5_4A32_D192_ED03);
         let total_blocks = (profile.working_set_bytes as u64 / BLOCK).max(1);
         let hot_blocks = (profile.hot_set_bytes as u64 / BLOCK).clamp(1, total_blocks);
         Self {
@@ -83,7 +82,7 @@ impl TraceGenerator {
         } else {
             // Streaming: sequential runs over the full working set.
             if self.run_left[core] == 0 {
-                self.run_left[core] = self.rng.gen_range(4..32);
+                self.run_left[core] = self.rng.gen_range(4u32..32);
                 self.cursors[core] = self.rng.gen_range(0..self.total_blocks);
             }
             self.run_left[core] -= 1;

@@ -4,9 +4,8 @@
 //! [`ValueStream`] samples blocks from it with cross-block memory so
 //! that last-value correlation (paper Fig. 13) is reproduced.
 
+use desc_core::rng::Rng64;
 use desc_core::Block;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Block archetypes observed in last-level-cache traffic.
 #[derive(Clone, Copy, PartialEq, Debug)]
@@ -108,7 +107,7 @@ impl Default for ValueModel {
 #[derive(Clone, Debug)]
 pub struct ValueStream {
     model: ValueModel,
-    rng: StdRng,
+    rng: Rng64,
     previous: Block,
     heap_base: u64,
 }
@@ -121,7 +120,7 @@ impl ValueStream {
     /// Creates a stream with the given mixture and seed.
     #[must_use]
     pub fn new(model: ValueModel, seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng64::seed_from_u64(seed);
         let heap_base = rng.gen_range(0x1000_0000u64..0x7f00_0000_0000) & !0xFFFF;
         Self { model, rng, previous: Block::zeroed(BLOCK_BYTES), heap_base }
     }

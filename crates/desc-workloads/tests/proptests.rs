@@ -1,5 +1,9 @@
 //! Property-based tests for the workload generators.
 
+// Gated: compiled only with `--features proptest`, which requires
+// network access to fetch the `proptest` crate (see Cargo.toml).
+#![cfg(feature = "proptest")]
+
 use desc_workloads::values::{Archetype, ValueModel};
 use desc_workloads::{parallel_suite, spec_suite, BenchmarkId, ChunkStats};
 use proptest::prelude::*;

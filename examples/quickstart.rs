@@ -5,7 +5,7 @@
 //! cargo run --example quickstart
 //! ```
 
-use desc::core::protocol::{Link, LinkConfig};
+use desc::core::protocol::{Link, LinkConfig, TraceCapture};
 use desc::core::schemes::{SchemeKind, SkipMode};
 use desc::core::{Block, ChunkSize, TransferScheme};
 
@@ -46,6 +46,7 @@ fn main() {
         chunk_size: ChunkSize::new(4).expect("valid chunk size"),
         mode: SkipMode::Zero,
         wire_delay: 2,
+        trace: TraceCapture::Off,
     };
     let mut link = Link::new(cfg);
     let out = link.transfer(&sparse);

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Repo verification: tier-1 (build + tests) plus lints. Fully offline —
+# the workspace has no external dependencies.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> OK"

@@ -1,7 +1,7 @@
 //! Cross-crate integration: the cycle-stepped DESC protocol carrying
 //! ECC-protected payloads, and fault injection across the whole stack.
 
-use desc::core::protocol::{Link, LinkConfig};
+use desc::core::protocol::{Link, LinkConfig, TraceCapture};
 use desc::core::schemes::SkipMode;
 use desc::core::ChunkSize;
 use desc::ecc::inject::FaultInjector;
@@ -18,6 +18,7 @@ fn ecc_payloads_survive_the_desc_link() {
         chunk_size: ChunkSize::new(4).expect("valid"),
         mode: SkipMode::Zero,
         wire_delay: 3,
+        trace: TraceCapture::Off,
     };
     let mut link = Link::new(cfg);
     for _ in 0..16 {
@@ -63,6 +64,7 @@ fn protocol_roundtrips_benchmark_traffic() {
             chunk_size: ChunkSize::new(4).expect("valid"),
             mode,
             wire_delay: 1,
+            trace: TraceCapture::Off,
         };
         let mut link = Link::new(cfg);
         let mut values = BenchmarkId::Linear.profile().value_stream(3);
