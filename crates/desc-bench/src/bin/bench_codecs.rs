@@ -1,0 +1,98 @@
+//! `bench_codecs` — throughput harness for the ECC codec hot paths.
+//!
+//! ```text
+//! cargo run --release -p desc-bench --bin bench_codecs [-- OUTPUT.json]
+//! ```
+//!
+//! Measures SECDED encode and decode rates for the paper's (72,64) and
+//! (137,128) codes plus the full chunk-interleaved encode → corrupt →
+//! correct round trip on 64-byte blocks, and appends the numbers to
+//! `BENCH_ecc.json` in the shared history format (latest run in
+//! `results`, every run in `history`).
+
+use desc_bench::{append_history, best_rate};
+use desc_core::Block;
+use desc_ecc::{InterleavedBlock, SecdedCode};
+use desc_telemetry::Json;
+use desc_workloads::BenchmarkId;
+use std::hint::black_box;
+
+const ITERS: usize = 20_000;
+const REPS: usize = 5;
+const POOL: usize = 256;
+
+fn bench_secded(code: &SecdedCode, data: &[Vec<u8>]) -> (f64, f64) {
+    // Warmup + corpus of clean codewords for the decode side.
+    let codewords: Vec<Vec<bool>> = data.iter().map(|d| code.encode(d)).collect();
+    let encode_rate = best_rate(ITERS, REPS, {
+        let mut i = 0;
+        move || {
+            black_box(code.encode(&data[i % data.len()]));
+            i += 1;
+        }
+    });
+    let mut scratch = codewords.clone();
+    let decode_rate = best_rate(ITERS, REPS, {
+        let mut i = 0;
+        move || {
+            let w = &mut scratch[i % POOL];
+            black_box(code.decode(w).is_usable());
+            i += 1;
+        }
+    });
+    (encode_rate, decode_rate)
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_ecc.json".to_owned());
+    let mut stream = BenchmarkId::Ocean.profile().value_stream(2013);
+    let blocks: Vec<Block> = (0..POOL).map(|_| stream.next_block()).collect();
+
+    let mut results = Vec::new();
+    println!("{:<28} {:>16}", "codec", "ops/sec");
+    let mut record = |name: &str, rate: f64| {
+        println!("{name:<28} {rate:>16.0}");
+        results.push(
+            Json::obj()
+                .with("codec", Json::Str(name.to_owned()))
+                .with("ops_per_sec", Json::Num(rate.round())),
+        );
+    };
+
+    for (label, code, seg_bytes) in
+        [("secded_72_64", SecdedCode::c72_64(), 8), ("secded_137_128", SecdedCode::c137_128(), 16)]
+    {
+        let data: Vec<Vec<u8>> =
+            blocks.iter().map(|b| b.as_bytes()[..seg_bytes].to_vec()).collect();
+        let (enc, dec) = bench_secded(&code, &data);
+        record(&format!("{label}_encode"), enc);
+        record(&format!("{label}_decode"), dec);
+    }
+
+    // Full interleaved path: encode a block into chunk-interleaved
+    // codewords, flip one chunk bit, and correct it back.
+    let interleave_rate = best_rate(ITERS / 4, REPS, {
+        let mut i = 0;
+        move || {
+            let mut cw = InterleavedBlock::encode_paper(&blocks[i % POOL]);
+            cw.corrupt_chunk(i % cw.chunks().len(), 1);
+            black_box(cw.decode().usable());
+            i += 1;
+        }
+    });
+    record("interleave_paper_roundtrip", interleave_rate);
+
+    let config = Json::obj()
+        .with("block_bytes", Json::UInt(64))
+        .with("workload", Json::Str("ocean value stream, seed 2013".to_owned()))
+        .with("iters", Json::UInt(ITERS as u64))
+        .with("reps", Json::UInt(REPS as u64));
+    match append_history(std::path::Path::new(&out_path), "ecc_codecs", config, Json::Arr(results))
+    {
+        Ok(()) => println!("\nwrote {out_path}"),
+        Err(e) => {
+            eprintln!("failed to write {out_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

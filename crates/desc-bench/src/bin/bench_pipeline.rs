@@ -1,0 +1,67 @@
+//! `bench_pipeline` — throughput harness for the full experiment
+//! pipeline: trace generation → cache simulation → energy pricing →
+//! processor roll-up.
+//!
+//! ```text
+//! cargo run --release -p desc-bench --bin bench_pipeline [-- OUTPUT.json]
+//! ```
+//!
+//! Times `run_app` (one complete simulate-and-price cell, exactly what
+//! every figure sweep executes per cell) for conventional binary and
+//! zero-skipped DESC, and appends simulated-accesses-per-second to
+//! `BENCH_pipeline.json` in the shared history format.
+
+use desc_bench::{append_history, best_rate};
+use desc_core::schemes::SchemeKind;
+use desc_experiments::common::run_app;
+use desc_experiments::Scale;
+use desc_telemetry::Json;
+use desc_workloads::BenchmarkId;
+use std::hint::black_box;
+
+const ACCESSES: usize = 4_000;
+const REPS: usize = 5;
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_pipeline.json".to_owned());
+    let scale = Scale { accesses: ACCESSES, apps: 1, seed: 2013, jobs: 1 };
+    let profile = BenchmarkId::Ocean.profile();
+
+    let mut results = Vec::new();
+    println!("{:<24} {:>14} {:>18}", "scheme", "cells/sec", "accesses/sec");
+    for (label, kind) in [
+        ("conventional_binary", SchemeKind::ConventionalBinary),
+        ("zero_skip_desc", SchemeKind::ZeroSkippedDesc),
+    ] {
+        // Warmup one cell, then time whole cells.
+        black_box(run_app(kind, &profile, &scale).l2_energy());
+        let cells_per_sec = best_rate(3, REPS, || {
+            black_box(run_app(kind, &profile, &scale).l2_energy());
+        });
+        let accesses_per_sec = cells_per_sec * ACCESSES as f64;
+        println!("{label:<24} {cells_per_sec:>14.2} {accesses_per_sec:>18.0}");
+        results.push(
+            Json::obj()
+                .with("scheme", Json::Str(label.to_owned()))
+                .with("cells_per_sec", Json::Num((cells_per_sec * 100.0).round() / 100.0))
+                .with("accesses_per_sec", Json::Num(accesses_per_sec.round())),
+        );
+    }
+
+    let config = Json::obj()
+        .with("accesses_per_cell", Json::UInt(ACCESSES as u64))
+        .with("workload", Json::Str("ocean profile, seed 2013".to_owned()))
+        .with("reps", Json::UInt(REPS as u64));
+    match append_history(
+        std::path::Path::new(&out_path),
+        "experiment_pipeline",
+        config,
+        Json::Arr(results),
+    ) {
+        Ok(()) => println!("\nwrote {out_path}"),
+        Err(e) => {
+            eprintln!("failed to write {out_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -9,15 +9,19 @@
 //! and payload bytes/sec) for each skip mode on the paper's 128-wire,
 //! 4-bit-chunk link carrying Ocean-profile 64-byte blocks, and writes
 //! `BENCH_link.json` recording both the frozen pre-optimisation
-//! baseline and the current numbers side by side.
+//! baseline and the current numbers side by side. The file is
+//! append-mode: `results` holds the latest run and `history` keeps a
+//! time series of every run (see `desc_bench::append_history`).
 //!
 //! Timing uses `std::time::Instant` only: each mode is warmed up and
 //! then timed over several repetitions, keeping the best (least
 //! scheduler-disturbed) repetition.
 
+use desc_bench::append_history;
 use desc_core::protocol::{Link, LinkConfig, TraceCapture};
 use desc_core::schemes::SkipMode;
 use desc_core::{Block, ChunkSize};
+use desc_telemetry::Json;
 use desc_workloads::BenchmarkId;
 use std::hint::black_box;
 use std::time::Instant;
@@ -74,12 +78,12 @@ fn main() {
     let mut stream = BenchmarkId::Ocean.profile().value_stream(2013);
     let blocks: Vec<Block> = (0..POOL).map(|_| stream.next_block()).collect();
 
-    let mut entries = String::new();
+    let mut results = Vec::new();
     println!(
         "{:<16} {:>14} {:>14} {:>16} {:>8}",
         "mode", "baseline t/s", "current t/s", "current bytes/s", "speedup"
     );
-    for (i, &(mode, baseline_tps)) in BASELINE.iter().enumerate() {
+    for &(mode, baseline_tps) in &BASELINE {
         let tps = bench_mode(mode, &blocks);
         let speedup = tps / baseline_tps;
         println!(
@@ -90,24 +94,34 @@ fn main() {
             tps * BLOCK_BYTES,
             speedup
         );
-        if i > 0 {
-            entries.push_str(",\n");
-        }
-        entries.push_str(&format!(
-            "    {{\n      \"mode\": \"{}\",\n      \"baseline_transfers_per_sec\": {:.0},\n      \"baseline_bytes_per_sec\": {:.0},\n      \"current_transfers_per_sec\": {:.1},\n      \"current_bytes_per_sec\": {:.1},\n      \"speedup\": {:.3}\n    }}",
-            mode_name(mode),
-            baseline_tps,
-            baseline_tps * BLOCK_BYTES,
-            tps,
-            tps * BLOCK_BYTES,
-            speedup
-        ));
+        results.push(
+            Json::obj()
+                .with("mode", Json::Str(mode_name(mode).to_owned()))
+                .with("baseline_transfers_per_sec", Json::UInt(baseline_tps as u64))
+                .with("baseline_bytes_per_sec", Json::UInt((baseline_tps * BLOCK_BYTES) as u64))
+                .with("current_transfers_per_sec", Json::Num((tps * 10.0).round() / 10.0))
+                .with(
+                    "current_bytes_per_sec",
+                    Json::Num((tps * BLOCK_BYTES * 10.0).round() / 10.0),
+                )
+                .with("speedup", Json::Num((speedup * 1000.0).round() / 1000.0)),
+        );
     }
 
-    let json = format!(
-        "{{\n  \"benchmark\": \"link_transfers\",\n  \"config\": {{\n    \"wires\": 128,\n    \"chunk_bits\": 4,\n    \"wire_delay\": 2,\n    \"block_bytes\": {BLOCK_BYTES:.0},\n    \"workload\": \"ocean value stream, seed 2013\",\n    \"transfers_per_rep\": {TRANSFERS_PER_REP},\n    \"reps\": {REPS}\n  }},\n  \"results\": [\n{entries}\n  ]\n}}\n"
-    );
-    match std::fs::write(&out_path, &json) {
+    let config = Json::obj()
+        .with("wires", Json::UInt(128))
+        .with("chunk_bits", Json::UInt(4))
+        .with("wire_delay", Json::UInt(2))
+        .with("block_bytes", Json::UInt(BLOCK_BYTES as u64))
+        .with("workload", Json::Str("ocean value stream, seed 2013".to_owned()))
+        .with("transfers_per_rep", Json::UInt(TRANSFERS_PER_REP as u64))
+        .with("reps", Json::UInt(REPS as u64));
+    match append_history(
+        std::path::Path::new(&out_path),
+        "link_transfers",
+        config,
+        Json::Arr(results),
+    ) {
         Ok(()) => println!("\nwrote {out_path}"),
         Err(e) => {
             eprintln!("failed to write {out_path}: {e}");

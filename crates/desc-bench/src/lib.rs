@@ -1,15 +1,151 @@
 //! # desc-bench
 //!
-//! Benchmark-only crate. The Criterion harnesses live in `benches/`:
+//! Benchmark-only crate: dependency-free timing harnesses tracking the
+//! throughput of the DESC reproduction's hot paths.
 //!
-//! * `figures` — regenerates every table and figure of the paper at
-//!   reduced scale, one benchmark per experiment (`cargo bench -p
-//!   desc-bench --bench figures`).
-//! * `codecs` — raw throughput of the transfer-scheme encoders, the
-//!   cycle-stepped protocol, and the SECDED interleave path.
+//! * `bench_transfers` — steady-state `Link::transfer` throughput per
+//!   skip mode (`BENCH_link.json`).
+//! * `bench_codecs` — SECDED encode/decode and chunk-interleave
+//!   throughput (`BENCH_ecc.json`).
+//! * `bench_pipeline` — end-to-end simulate → price → roll-up pipeline
+//!   throughput (`BENCH_pipeline.json`).
+//!
+//! Every harness appends to its JSON file through [`append_history`]:
+//! the latest numbers stay at the top level (`results`) for scripts
+//! that only want the current state, while `history` accumulates one
+//! entry per run so regressions are visible as a time series.
 //!
 //! For full-scale figure regeneration use the `repro` binary from
 //! `desc-experiments` instead; benches exist to keep the whole
 //! reproduction harness fast and regression-tracked.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use desc_telemetry::Json;
+use std::path::Path;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+/// Appends one benchmark run to `path` in the shared history format.
+///
+/// The written document keeps the original single-run layout at the
+/// top level — `benchmark`, `config`, `results` always reflect the
+/// *latest* run — and grows a `history` array with one entry per run
+/// (`recorded_unix_s` + that run's `results`). Existing files are
+/// parsed and extended; a pre-history file's `results` become the
+/// first history entry, and an unparseable file is replaced with a
+/// fresh single-entry history rather than aborting the run.
+///
+/// # Errors
+///
+/// Propagates the final write's I/O error.
+pub fn append_history(
+    path: &Path,
+    benchmark: &str,
+    config: Json,
+    results: Json,
+) -> std::io::Result<()> {
+    let mut history: Vec<Json> = Vec::new();
+    if let Ok(text) = std::fs::read_to_string(path) {
+        if let Ok(old) = Json::parse(&text) {
+            if let Some(entries) = old.get("history").and_then(Json::as_arr) {
+                history = entries.to_vec();
+            } else if let Some(previous) = old.get("results") {
+                // Old single-run format: keep its numbers as the first
+                // history entry (it carries no timestamp of its own).
+                history.push(Json::obj().with("results", previous.clone()));
+            }
+        }
+    }
+    let recorded =
+        SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_secs()).unwrap_or(0);
+    history.push(
+        Json::obj()
+            .with("recorded_unix_s", Json::UInt(recorded))
+            .with("results", results.clone()),
+    );
+    let doc = Json::obj()
+        .with("benchmark", Json::Str(benchmark.to_owned()))
+        .with("config", config)
+        .with("results", results)
+        .with("history", Json::Arr(history));
+    std::fs::write(path, doc.to_pretty())
+}
+
+/// Times `work` over `reps` repetitions of `iters` iterations each and
+/// returns the best iterations/second (the least scheduler-disturbed
+/// repetition). The caller is responsible for warmup.
+pub fn best_rate(iters: usize, reps: usize, mut work: impl FnMut()) -> f64 {
+    let mut best = f64::MAX;
+    for _ in 0..reps {
+        let start = Instant::now();
+        for _ in 0..iters {
+            work();
+        }
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    iters as f64 / best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn history_appends_and_preserves_old_results() {
+        let dir = std::env::temp_dir().join(format!("desc-bench-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("hist.json");
+        // Seed with an old-format (history-less) document.
+        std::fs::write(
+            &path,
+            "{\"benchmark\": \"t\", \"config\": {}, \"results\": [{\"x\": 1}]}\n",
+        )
+        .expect("seed file");
+        let results = Json::Arr(vec![Json::obj().with("x", Json::UInt(2))]);
+        append_history(&path, "t", Json::obj(), results.clone()).expect("first append");
+        append_history(&path, "t", Json::obj(), results).expect("second append");
+        let doc = Json::parse(&std::fs::read_to_string(&path).expect("read"))
+            .expect("parse history file");
+        let history = doc.get("history").and_then(Json::as_arr).expect("history array");
+        // Old results + two appends.
+        assert_eq!(history.len(), 3);
+        let first_x = history[0]
+            .get("results")
+            .and_then(|r| r.as_arr())
+            .and_then(|a| a.first())
+            .and_then(|e| e.get("x"))
+            .and_then(Json::as_u64);
+        assert_eq!(first_x, Some(1), "old-format results preserved as first entry");
+        assert!(history[2].get("recorded_unix_s").is_some());
+        // Top level keeps the latest run.
+        let top_x = doc
+            .get("results")
+            .and_then(Json::as_arr)
+            .and_then(|a| a.first())
+            .and_then(|e| e.get("x"))
+            .and_then(Json::as_u64);
+        assert_eq!(top_x, Some(2));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unparseable_file_is_replaced() {
+        let dir = std::env::temp_dir().join(format!("desc-bench-bad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("bad.json");
+        std::fs::write(&path, "not json at all").expect("seed file");
+        append_history(&path, "t", Json::obj(), Json::Arr(Vec::new())).expect("append");
+        let doc = Json::parse(&std::fs::read_to_string(&path).expect("read")).expect("parse");
+        assert_eq!(doc.get("history").and_then(Json::as_arr).map(<[Json]>::len), Some(1));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn best_rate_is_positive() {
+        let mut n = 0u64;
+        let rate = best_rate(100, 2, || n = n.wrapping_add(1));
+        assert!(rate > 0.0);
+        assert_eq!(n, 200);
+    }
+}

@@ -156,10 +156,25 @@ impl CostSummary {
     }
 
     /// Records the cost of one block transfer.
+    ///
+    /// When telemetry is enabled the transfer is also mirrored into
+    /// the global registry (`core.cost.*`) — this is the one point
+    /// every scheme's every block passes through. All updates are
+    /// order-independent, so totals are identical for any sweep
+    /// worker count.
     pub fn record(&mut self, cost: TransferCost) {
         self.total += cost;
         self.blocks += 1;
         self.max_cycles = self.max_cycles.max(cost.cycles);
+        if desc_telemetry::enabled() {
+            desc_telemetry::counter!("core.cost.blocks").incr();
+            desc_telemetry::counter!("core.cost.data_transitions").add(cost.data_transitions);
+            desc_telemetry::counter!("core.cost.control_transitions")
+                .add(cost.control_transitions);
+            desc_telemetry::counter!("core.cost.sync_transitions").add(cost.sync_transitions);
+            desc_telemetry::counter!("core.cost.cycles").add(cost.cycles);
+            desc_telemetry::gauge!("core.cost.max_cycles").record_max(cost.cycles);
+        }
     }
 
     /// Number of blocks recorded.

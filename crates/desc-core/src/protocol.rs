@@ -592,6 +592,33 @@ impl Link {
             TraceCapture::Packed => Some(self.capture_trace(max_t + 1)),
         };
 
+        // Telemetry: one relaxed load when off; all updates are
+        // order-independent adds, so totals are identical for any
+        // worker count.
+        if desc_telemetry::enabled() {
+            desc_telemetry::counter!("core.link.transfers").incr();
+            desc_telemetry::counter!("core.link.data_transitions").add(data_transitions);
+            desc_telemetry::counter!("core.link.control_transitions").add(control_transitions);
+            desc_telemetry::counter!("core.link.cycles").add(cycles);
+            desc_telemetry::counter!("core.link.rounds").add(rounds as u64);
+            desc_telemetry::counter!("core.link.chunks").add(n_chunks as u64);
+            match self.config.mode {
+                SkipMode::None => {
+                    desc_telemetry::counter!("core.link.mode.none.transfers").incr();
+                }
+                SkipMode::Zero => {
+                    desc_telemetry::counter!("core.link.mode.zero.transfers").incr();
+                    desc_telemetry::counter!("core.link.skipped_chunks")
+                        .add(n_chunks as u64 - data_transitions);
+                }
+                SkipMode::LastValue => {
+                    desc_telemetry::counter!("core.link.mode.last_value.transfers").incr();
+                    desc_telemetry::counter!("core.link.skipped_chunks")
+                        .add(n_chunks as u64 - data_transitions);
+                }
+            }
+        }
+
         self.chunk_values = chunk_values;
         LinkTransfer { decoded, trace, cost }
     }
@@ -621,6 +648,146 @@ impl Link {
         }
         trace
     }
+}
+
+/// Replays a captured packed waveform through the
+/// [`crate::circuits::ToggleDetector`] behavioural model and re-decodes
+/// the chunk stream, closing the capture loop: the trace alone (plus
+/// the link configuration and each wire's pre-transfer last value,
+/// which both endpoints track) carries the full transfer.
+///
+/// `initial_last` is the per-wire last-value state *before* the traced
+/// transfer (all zeros for a fresh link; only consulted in
+/// [`SkipMode::LastValue`]). Pass an empty slice for a power-on link.
+///
+/// # Panics
+///
+/// Panics if the trace's lane count disagrees with `config.wires`, if
+/// `initial_last` is neither empty nor `config.wires` long, or if the
+/// waveform is not a well-formed transfer of `n_chunks` chunks.
+#[must_use]
+pub fn replay_trace(
+    trace: &SignalTrace,
+    config: &LinkConfig,
+    n_chunks: usize,
+    initial_last: &[u16],
+) -> Vec<u16> {
+    use crate::circuits::ToggleDetector;
+    let wires = config.wires;
+    assert_eq!(trace.data_lanes(), wires, "trace lane count disagrees with config.wires");
+    assert!(
+        initial_last.is_empty() || initial_last.len() == wires,
+        "initial_last must be empty or one entry per wire"
+    );
+    let mut last: Vec<u16> =
+        if initial_last.is_empty() { vec![0; wires] } else { initial_last.to_vec() };
+
+    // ---- Edge recovery: one toggle detector per lane, stepped cycle
+    // by cycle over the captured levels (paper Fig. 8-b). Within a
+    // cycle, data pulses come before a reset/skip pulse: a data strobe
+    // may share its cycle with the boundary toggle that closes its
+    // round and must be decoded under the window that toggle closes —
+    // the same ordering `Link::transfer` emits.
+    let mut reset_detector = ToggleDetector::new();
+    let mut data_detectors = vec![ToggleDetector::new(); wires];
+    let mut events: Vec<(u64, Strobe)> = Vec::new();
+    for c in 0..trace.cycles() {
+        for (w, detector) in data_detectors.iter_mut().enumerate() {
+            if detector.step(trace.data_level(w, c)) {
+                events.push((c as u64, Strobe::Data(w)));
+            }
+        }
+        if reset_detector.step(trace.reset_skip_level(c)) {
+            events.push((c as u64, Strobe::ResetSkip));
+        }
+    }
+
+    // ---- Decode: the same window logic as the receiver half of
+    // `Link::transfer`, driven by the recovered pulses.
+    let mut received: Vec<Option<u16>> = vec![None; n_chunks];
+    match config.mode {
+        SkipMode::None => {
+            let mut wire_prefix = vec![0u64; wires];
+            let mut wire_round = vec![0usize; wires];
+            let mut window_start: Option<u64> = None;
+            for &(t, strobe) in &events {
+                match strobe {
+                    Strobe::ResetSkip => window_start = Some(t),
+                    Strobe::Data(w) => {
+                        let i = wire_round[w] * wires + w;
+                        assert!(i < n_chunks, "replayed strobe with no pending chunk");
+                        let start =
+                            window_start.expect("reset precedes data") + wire_prefix[w];
+                        let v = Link::value_at(t - start, None);
+                        received[i] = Some(v);
+                        wire_prefix[w] += u64::from(v) + 1;
+                        wire_round[w] += 1;
+                    }
+                }
+            }
+        }
+        SkipMode::Zero | SkipMode::LastValue => {
+            let rounds = n_chunks.div_ceil(wires);
+            let chunks_in_round = |r: usize| -> usize {
+                if r >= rounds {
+                    0
+                } else {
+                    (n_chunks - r * wires).min(wires)
+                }
+            };
+            let mut round = 0usize;
+            let mut pending = chunks_in_round(0);
+            let mut window_start: Option<u64> = None;
+            for &(t, strobe) in &events {
+                match strobe {
+                    Strobe::ResetSkip => {
+                        if window_start.is_some() && pending > 0 {
+                            let base = round * wires;
+                            let end = (base + wires).min(n_chunks);
+                            for (w, slot) in received[base..end].iter_mut().enumerate() {
+                                if slot.is_none() {
+                                    let skip = match config.mode {
+                                        SkipMode::Zero => 0,
+                                        SkipMode::LastValue => last[w],
+                                        SkipMode::None => unreachable!(),
+                                    };
+                                    *slot = Some(skip);
+                                    last[w] = skip;
+                                }
+                            }
+                            round += 1;
+                            pending = chunks_in_round(round);
+                        }
+                        window_start = Some(t);
+                    }
+                    Strobe::Data(w) => {
+                        let i = round * wires + w;
+                        assert!(i < n_chunks, "replayed strobe outside any round");
+                        assert!(received[i].is_none(), "duplicate replayed strobe on wire {w}");
+                        let skip = match config.mode {
+                            SkipMode::Zero => 0,
+                            SkipMode::LastValue => last[w],
+                            SkipMode::None => unreachable!(),
+                        };
+                        let p = t - window_start.expect("reset precedes data");
+                        let v = Link::value_at(p, Some(skip));
+                        received[i] = Some(v);
+                        last[w] = v;
+                        pending -= 1;
+                        if pending == 0 {
+                            round += 1;
+                            pending = chunks_in_round(round);
+                            window_start = None;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    received
+        .into_iter()
+        .map(|v| v.expect("replay left a chunk undecoded"))
+        .collect()
 }
 
 #[cfg(test)]

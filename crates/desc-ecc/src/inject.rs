@@ -39,6 +39,9 @@ impl FaultInjector {
     /// Panics if `bits` is zero.
     pub fn bit_fault(&mut self, bits: usize) -> usize {
         assert!(bits > 0, "codeword must have at least one bit");
+        if desc_telemetry::enabled() {
+            desc_telemetry::counter!("ecc.inject.bit_faults").incr();
+        }
         self.rng.gen_range(0..bits)
     }
 
@@ -49,6 +52,9 @@ impl FaultInjector {
     /// Panics if `bits < 2`.
     pub fn double_bit_fault(&mut self, bits: usize) -> (usize, usize) {
         assert!(bits >= 2, "need at least two bits for a double fault");
+        if desc_telemetry::enabled() {
+            desc_telemetry::counter!("ecc.inject.bit_faults").add(2);
+        }
         let a = self.rng.gen_range(0..bits);
         let mut b = self.rng.gen_range(0..bits - 1);
         if b >= a {
@@ -66,6 +72,9 @@ impl FaultInjector {
     pub fn chunk_fault(&mut self, chunks: usize, chunk_bits: usize) -> (usize, u16) {
         assert!(chunks > 0, "need at least one chunk");
         assert!((1..=16).contains(&chunk_bits), "chunk width out of range");
+        if desc_telemetry::enabled() {
+            desc_telemetry::counter!("ecc.inject.chunk_faults").incr();
+        }
         let index = self.rng.gen_range(0..chunks);
         let mask = self.rng.gen_range(1..(1u32 << chunk_bits)) as u16;
         (index, mask)
@@ -82,6 +91,11 @@ impl FaultInjector {
         chunk_bits: usize,
     ) -> ((usize, u16), (usize, u16)) {
         assert!(chunks >= 2, "need at least two chunks for a double fault");
+        // The second fault is drawn inline below; count it here (the
+        // first is counted by `chunk_fault`).
+        if desc_telemetry::enabled() {
+            desc_telemetry::counter!("ecc.inject.chunk_faults").incr();
+        }
         let (i, m1) = self.chunk_fault(chunks, chunk_bits);
         let mut j = self.rng.gen_range(0..chunks - 1);
         if j >= i {

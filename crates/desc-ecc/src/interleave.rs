@@ -233,7 +233,16 @@ impl InterleavedBlock {
             }
             outcomes.push(outcome);
         }
-        InterleavedDecode { block, outcomes }
+        let decoded = InterleavedDecode { block, outcomes };
+        if desc_telemetry::enabled() {
+            desc_telemetry::counter!("ecc.interleave.decodes").incr();
+            desc_telemetry::counter!("ecc.interleave.corrected_segments")
+                .add(decoded.corrections() as u64);
+            if decoded.detected_double_error() {
+                desc_telemetry::counter!("ecc.interleave.uncorrectable").incr();
+            }
+        }
+        decoded
     }
 }
 

@@ -106,6 +106,11 @@ impl<S: TransferScheme> TransferScheme for SecdedScheme<S> {
 
     fn transfer(&mut self, block: &Block) -> TransferCost {
         let extended = self.extend_with_parity(block);
+        if desc_telemetry::enabled() {
+            desc_telemetry::counter!("ecc.scheme.blocks").incr();
+            desc_telemetry::counter!("ecc.scheme.parity_bits")
+                .add((self.segments * self.code.parity_bits()) as u64);
+        }
         self.inner.transfer(&extended)
     }
 

@@ -195,7 +195,7 @@ impl SecdedCode {
         }
         let overall = codeword.iter().filter(|&&b| b).count() % 2 == 1;
 
-        match (syndrome, overall) {
+        let outcome = match (syndrome, overall) {
             (0, false) => DecodeOutcome::Clean,
             (0, true) => {
                 // The overall parity bit itself flipped.
@@ -209,7 +209,20 @@ impl SecdedCode {
             // Non-zero syndrome with clean overall parity, or a
             // syndrome pointing outside the codeword: double error.
             _ => DecodeOutcome::DoubleError,
+        };
+        if desc_telemetry::enabled() {
+            desc_telemetry::counter!("ecc.secded.decodes").incr();
+            match outcome {
+                DecodeOutcome::Clean => desc_telemetry::counter!("ecc.secded.clean").incr(),
+                DecodeOutcome::Corrected(_) => {
+                    desc_telemetry::counter!("ecc.secded.corrected").incr();
+                }
+                DecodeOutcome::DoubleError => {
+                    desc_telemetry::counter!("ecc.secded.uncorrectable").incr();
+                }
+            }
         }
+        outcome
     }
 
     /// Extracts the data bits from a (corrected) codeword, packed

@@ -4,25 +4,35 @@
 //! repro fig16 fig20        # specific experiments
 //! repro all                # everything, full scale
 //! repro --quick all        # everything, reduced scale
+//! repro --report out.json  # machine-readable run report (implies all)
 //! repro --list             # available experiment names
 //! ```
 
 use desc_experiments::{experiment_names, run_experiment, Scale};
+use desc_telemetry::{Report, ReportMeta};
 use std::process::ExitCode;
 use std::time::Instant;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::full();
+    let mut scale_label = "full";
     let mut names: Vec<String> = Vec::new();
     let mut csv = false;
     let mut jobs: Option<usize> = None;
+    let mut report_path: Option<std::path::PathBuf> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
-            "--quick" | "-q" => scale = Scale::quick(),
+            "--quick" | "-q" => {
+                scale = Scale::quick();
+                scale_label = "quick";
+            }
             "--csv" => csv = true,
-            "--tiny" => scale = Scale::tiny(),
+            "--tiny" => {
+                scale = Scale::tiny();
+                scale_label = "tiny";
+            }
             "--seed" => match iter.next().map(|v| v.parse::<u64>()) {
                 Some(Ok(seed)) => scale.seed = seed,
                 _ => {
@@ -51,6 +61,15 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--report" => match iter.next() {
+                Some(path) if !path.is_empty() => {
+                    report_path = Some(std::path::PathBuf::from(path));
+                }
+                _ => {
+                    eprintln!("--report needs an output path argument");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--list" | "-l" => {
                 for n in experiment_names() {
                     println!("{n}");
@@ -60,9 +79,11 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--quick|--tiny] [--csv] [--seed N] [--accesses N] [--apps N] \
-                     [--jobs N] <experiment...|all>\n\
-                     --jobs N  spread (app x scheme) sweeps over N threads; results are\n\
+                     [--jobs N] [--report PATH] <experiment...|all>\n\
+                     --jobs N      spread (app x scheme) sweeps over N threads; results are\n\
                      bit-identical for any N (default: all hardware threads)\n\
+                     --report PATH enable telemetry and write a machine-readable JSON run\n\
+                     report (counters, histograms, spans); defaults to all experiments\n\
                      experiments: {}",
                     experiment_names().join(" ")
                 );
@@ -73,8 +94,13 @@ fn main() -> ExitCode {
         }
     }
     if names.is_empty() {
-        eprintln!("no experiments requested; try `repro --help`");
-        return ExitCode::FAILURE;
+        if report_path.is_some() {
+            // A report with no explicit selection covers everything.
+            names.extend(experiment_names().iter().map(|s| (*s).to_owned()));
+        } else {
+            eprintln!("no experiments requested; try `repro --help`");
+            return ExitCode::FAILURE;
+        }
     }
     // Sweeps are deterministic for any job count, so defaulting to all
     // hardware threads is safe.
@@ -88,15 +114,40 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    if report_path.is_some() {
+        desc_telemetry::set_enabled(true);
+    }
     for name in &names {
         let started = Instant::now();
-        let table = run_experiment(name, &scale);
+        let table = {
+            let _span = desc_telemetry::span("experiment", name.as_str());
+            run_experiment(name, &scale)
+        };
         if csv {
             print!("{}", table.to_csv());
         } else {
             println!("{table}");
             println!("[{name} completed in {:.1}s]\n", started.elapsed().as_secs_f64());
         }
+    }
+    if let Some(path) = report_path {
+        let report = Report {
+            meta: ReportMeta {
+                tool: "repro".to_owned(),
+                version: env!("CARGO_PKG_VERSION").to_owned(),
+                seed: scale.seed,
+                scale: scale_label.to_owned(),
+                jobs: scale.jobs,
+                experiments: names.clone(),
+            },
+            snapshot: desc_telemetry::global().snapshot(),
+            spans: desc_telemetry::drain_spans(),
+        };
+        if let Err(e) = report.write_to(&path) {
+            eprintln!("failed to write report to {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote run report to {}", path.display());
     }
     ExitCode::SUCCESS
 }

@@ -149,41 +149,52 @@ pub fn run_app(kind: SchemeKind, profile: &BenchmarkProfile, scale: &Scale) -> A
     )
 }
 
-/// Runs every cell of an (app × configuration) sweep, fanned across
+/// Runs every cell of a (row × configuration) sweep, fanned across
 /// `scale.jobs` worker threads.
 ///
-/// `cell(config, profile)` must derive everything from its arguments
-/// and `scale.seed` (as [`run_app`]/[`run_custom`] do — each cell
+/// Both axes are generic: `rows` is usually the benchmark suite but
+/// can be any per-row parameter (device classes, sweep points), and
+/// each cell may return any `Send` result (an [`AppRun`], an energy
+/// scalar, a tuple of measurements).
+///
+/// `cell(config, row)` must derive everything from its arguments and
+/// `scale.seed` (as [`run_app`]/[`run_custom`] do — each cell
 /// constructs its own independently seeded simulation), so the result
 /// is **bit-identical to the serial loop for any job count**: the
 /// thread schedule only decides *which* worker computes a cell, never
 /// its value, and cells are collected by index. Results are indexed
-/// `[profile][config]`.
+/// `[row][config]`.
+///
+/// When telemetry is enabled each cell records a `"cell"` span
+/// (label `c<config>.r<row>`), so `repro --report` shows per-cell
+/// wall-clock for any job count; when disabled no label is even
+/// formatted.
 #[must_use]
-pub fn run_matrix<C, F>(
-    configs: &[C],
-    profiles: &[BenchmarkProfile],
-    scale: &Scale,
-    cell: F,
-) -> Vec<Vec<AppRun>>
+pub fn run_matrix<C, P, R, F>(configs: &[C], rows: &[P], scale: &Scale, cell: F) -> Vec<Vec<R>>
 where
     C: Sync,
-    F: Fn(&C, &BenchmarkProfile) -> AppRun + Sync,
+    P: Sync,
+    R: Send,
+    F: Fn(&C, &P) -> R + Sync,
 {
-    let n_cells = profiles.len() * configs.len();
+    let timed_cell = |c: usize, p: usize| -> R {
+        let _span = desc_telemetry::enabled()
+            .then(|| desc_telemetry::span("cell", format!("c{c}.r{p}")));
+        cell(&configs[c], &rows[p])
+    };
+    let n_cells = rows.len() * configs.len();
     let jobs = scale.jobs.max(1).min(n_cells.max(1));
     if jobs <= 1 {
-        return profiles
-            .iter()
-            .map(|p| configs.iter().map(|c| cell(c, p)).collect())
+        return (0..rows.len())
+            .map(|p| (0..configs.len()).map(|c| timed_cell(c, p)).collect())
             .collect();
     }
-    let mut slots: Vec<Option<AppRun>> = Vec::new();
+    let mut slots: Vec<Option<R>> = Vec::new();
     slots.resize_with(n_cells, || None);
     {
         // Hand each worker a disjoint set of slots via a work queue;
-        // a slot index identifies its (profile, config) pair.
-        let slot_refs: Vec<std::sync::Mutex<&mut Option<AppRun>>> =
+        // a slot index identifies its (row, config) pair.
+        let slot_refs: Vec<std::sync::Mutex<&mut Option<R>>> =
             slots.iter_mut().map(std::sync::Mutex::new).collect();
         let next = std::sync::atomic::AtomicUsize::new(0);
         std::thread::scope(|s| {
@@ -194,23 +205,23 @@ where
                         break;
                     }
                     let (p, c) = (i / configs.len(), i % configs.len());
-                    let run = cell(&configs[c], &profiles[p]);
+                    let run = timed_cell(c, p);
                     **slot_refs[i].lock().expect("worker panicked") = Some(run);
                 });
             }
         });
     }
-    let mut rows = Vec::with_capacity(profiles.len());
+    let mut out = Vec::with_capacity(rows.len());
     let mut it = slots.into_iter();
-    for _ in 0..profiles.len() {
-        rows.push(
+    for _ in 0..rows.len() {
+        out.push(
             it.by_ref()
                 .take(configs.len())
                 .map(|r| r.expect("every sweep cell is computed exactly once"))
                 .collect(),
         );
     }
-    rows
+    out
 }
 
 #[cfg(test)]
@@ -244,10 +255,13 @@ mod tests {
     #[test]
     fn parallel_sweep_matches_serial_byte_for_byte() {
         // The acceptance bar for the threaded sweep: any job count
-        // renders the exact same figure text as the serial loop.
+        // renders the exact same figure text as the serial loop. The
+        // list samples every run_matrix shape: AppRun cells (fig16),
+        // generic config axes (fig14, fig22), scalar cells (fig13),
+        // S-NUCA rows (fig24), ECC (fig28), and ablations.
         let serial = Scale::tiny();
         let parallel = Scale::tiny().with_jobs(4);
-        for name in ["fig16", "fig20", "fig21"] {
+        for name in ["fig13", "fig14", "fig16", "fig22", "fig24", "fig28", "abl-adaptive"] {
             let a = crate::run_experiment(name, &serial).render();
             let b = crate::run_experiment(name, &parallel).render();
             assert_eq!(a, b, "{name} diverged under --jobs 4");

@@ -12,7 +12,7 @@
 //! * `abl_wires` — DESC on low-swing interconnect (the paper's §2
 //!   argues activity reduction composes with low-swing wires).
 
-use crate::common::{run_custom, Scale};
+use crate::common::{run_custom, run_matrix, Scale};
 use crate::table::{geomean, r2, r3, Table};
 use desc_core::schemes::{AdaptiveDescScheme, DescScheme, SchemeKind, SkipMode};
 use desc_core::{ChunkSize, TransferScheme};
@@ -23,39 +23,34 @@ use desc_sim::SimConfig;
 pub fn abl_sync(scale: &Scale) -> Table {
     let suite = scale.suite();
     let cfg = SimConfig::paper_multithreaded();
-    let mut rows: Vec<(&str, f64)> = Vec::new();
-    let mut base = 0.0;
-    for (name, build) in [
+    let configs: [(&str, Option<bool>); 3] = [
         ("Binary", None),
         ("Zero-skip DESC + sync strobe (async cache)", Some(true)),
         ("Zero-skip DESC, shared clock (sync cache)", Some(false)),
-    ] {
-        let mut total = 0.0;
-        for p in &suite {
-            let scheme: Box<dyn TransferScheme> = match build {
-                None => SchemeKind::ConventionalBinary.build_paper_config(),
-                Some(true) => {
-                    Box::new(DescScheme::new(128, ChunkSize::PAPER_DEFAULT, SkipMode::Zero))
-                }
-                Some(false) => Box::new(
-                    DescScheme::new(128, ChunkSize::PAPER_DEFAULT, SkipMode::Zero)
-                        .without_sync_strobe(),
-                ),
-            };
-            let overhead = if build.is_some() { 1.03 } else { 1.0 };
-            total += run_custom(scheme, cfg, p, scale, overhead).l2_energy();
-        }
-        if build.is_none() {
-            base = total;
-        }
-        rows.push((name, total));
-    }
+    ];
+    let per_app = run_matrix(&configs, &suite, scale, |&(_, build), p| {
+        let scheme: Box<dyn TransferScheme> = match build {
+            None => SchemeKind::ConventionalBinary.build_paper_config(),
+            Some(true) => {
+                Box::new(DescScheme::new(128, ChunkSize::PAPER_DEFAULT, SkipMode::Zero))
+            }
+            Some(false) => Box::new(
+                DescScheme::new(128, ChunkSize::PAPER_DEFAULT, SkipMode::Zero)
+                    .without_sync_strobe(),
+            ),
+        };
+        let overhead = if build.is_some() { 1.03 } else { 1.0 };
+        run_custom(scheme, cfg, p, scale, overhead).l2_energy()
+    });
+    let totals: Vec<f64> =
+        (0..configs.len()).map(|c| per_app.iter().map(|row| row[c]).sum()).collect();
+    let base = totals[0];
     let mut t = Table::new(
         "Ablation: synchronization strobe cost (L2 energy vs binary)",
         &["Configuration", "Normalised L2 energy"],
     );
-    for (name, total) in rows {
-        t.row_owned(vec![name.into(), r3(total / base)]);
+    for ((name, _), total) in configs.iter().zip(&totals) {
+        t.row_owned(vec![(*name).into(), r3(total / base)]);
     }
     t.note("the strobe toggles once per window cycle; synchronous caches avoid it");
     t
@@ -70,31 +65,25 @@ pub fn abl_adaptive(scale: &Scale) -> Table {
         "Ablation: skip-value policies (L2 energy vs binary)",
         &["Policy", "Normalised L2 energy"],
     );
-    let baselines: Vec<f64> = suite
-        .iter()
-        .map(|p| {
-            run_custom(SchemeKind::ConventionalBinary.build_paper_config(), cfg, p, scale, 1.0)
-                .l2_energy()
-        })
-        .collect();
-    type SchemeFactory = Box<dyn Fn() -> Box<dyn TransferScheme>>;
-    let policies: Vec<(&str, SchemeFactory)> = vec![
-        ("Zero skipping", Box::new(|| {
-            Box::new(DescScheme::new(128, ChunkSize::PAPER_DEFAULT, SkipMode::Zero))
-        })),
-        ("Last-value skipping", Box::new(|| {
-            Box::new(DescScheme::new(128, ChunkSize::PAPER_DEFAULT, SkipMode::LastValue))
-        })),
-        ("Adaptive frequent-value skipping", Box::new(|| {
-            Box::new(AdaptiveDescScheme::new(128, ChunkSize::PAPER_DEFAULT))
-        })),
-    ];
-    for (name, build) in &policies {
-        let ratios: Vec<f64> = suite
-            .iter()
-            .zip(&baselines)
-            .map(|(p, &b)| run_custom(build(), cfg, p, scale, 1.03).l2_energy() / b)
-            .collect();
+    // Configuration 0 is the per-app binary baseline; 1–3 the skip
+    // policies, built by index so the sweep closure stays `Sync`.
+    const POLICIES: [&str; 3] =
+        ["Zero skipping", "Last-value skipping", "Adaptive frequent-value skipping"];
+    let configs: [usize; 4] = [0, 1, 2, 3];
+    let per_app = run_matrix(&configs, &suite, scale, |&i, p| {
+        let (scheme, overhead): (Box<dyn TransferScheme>, f64) = match i {
+            0 => (SchemeKind::ConventionalBinary.build_paper_config(), 1.0),
+            1 => (Box::new(DescScheme::new(128, ChunkSize::PAPER_DEFAULT, SkipMode::Zero)), 1.03),
+            2 => (
+                Box::new(DescScheme::new(128, ChunkSize::PAPER_DEFAULT, SkipMode::LastValue)),
+                1.03,
+            ),
+            _ => (Box::new(AdaptiveDescScheme::new(128, ChunkSize::PAPER_DEFAULT)), 1.03),
+        };
+        run_custom(scheme, cfg, p, scale, overhead).l2_energy()
+    });
+    for (i, name) in POLICIES.iter().enumerate() {
+        let ratios: Vec<f64> = per_app.iter().map(|row| row[i + 1] / row[0]).collect();
         t.row_owned(vec![(*name).into(), r3(geomean(&ratios))]);
     }
     t.note("paper §3.3: adaptive detection of frequent non-zero chunks is not appreciably better");
@@ -112,19 +101,28 @@ pub fn abl_chunk_order(scale: &Scale) -> Table {
         "Ablation: count-list optimisation (mean window cycles per block)",
         &["Variant", "Mean transfer cycles", "Mean transitions"],
     );
-    let mut optimised_cycles = 0.0;
-    let mut optimised_trans = 0.0;
-    let mut blocks = 0u64;
-    for p in &suite {
+    let per_app = run_matrix(&[()], &suite, scale, |&(), p| {
         let mut scheme =
             DescScheme::new(128, ChunkSize::PAPER_DEFAULT, SkipMode::Zero).without_sync_strobe();
         let mut stream = p.value_stream(scale.seed);
+        let mut cycles = 0.0;
+        let mut trans = 0.0;
+        let mut blocks = 0u64;
         for _ in 0..(scale.accesses / 4).max(100) {
             let c = scheme.transfer(&stream.next_block());
-            optimised_cycles += c.cycles as f64;
-            optimised_trans += c.total_transitions() as f64;
+            cycles += c.cycles as f64;
+            trans += c.total_transitions() as f64;
             blocks += 1;
         }
+        (cycles, trans, blocks)
+    });
+    let mut optimised_cycles = 0.0;
+    let mut optimised_trans = 0.0;
+    let mut blocks = 0u64;
+    for row in &per_app {
+        optimised_cycles += row[0].0;
+        optimised_trans += row[0].1;
+        blocks += row[0].2;
     }
     let n = blocks as f64;
     t.row_owned(vec![
@@ -151,22 +149,25 @@ pub fn abl_chunk_order(scale: &Scale) -> Table {
 pub fn abl_wires(scale: &Scale) -> Table {
     use desc_cacti::Signaling;
     let suite = scale.suite();
-    let mut rows = Vec::new();
-    for kind in [SchemeKind::ConventionalBinary, SchemeKind::ZeroSkippedDesc] {
-        let mut totals = [0.0f64; 2];
-        for (i, signaling) in
-            [Signaling::FullSwing, Signaling::low_swing_default()].into_iter().enumerate()
-        {
-            let mut cfg = SimConfig::paper_multithreaded();
-            cfg.l2.signaling = signaling;
-            for p in &suite {
-                let overhead = if kind.is_desc() { 1.03 } else { 1.0 };
-                totals[i] +=
-                    run_custom(kind.build_paper_config(), cfg, p, scale, overhead).l2_energy();
-            }
-        }
-        rows.push((kind.label(), totals[0], totals[1]));
-    }
+    let kinds = [SchemeKind::ConventionalBinary, SchemeKind::ZeroSkippedDesc];
+    let signalings = [Signaling::FullSwing, Signaling::low_swing_default()];
+    let configs: Vec<(SchemeKind, Signaling)> = kinds
+        .into_iter()
+        .flat_map(|kind| signalings.into_iter().map(move |s| (kind, s)))
+        .collect();
+    let per_app = run_matrix(&configs, &suite, scale, |&(kind, signaling), p| {
+        let mut cfg = SimConfig::paper_multithreaded();
+        cfg.l2.signaling = signaling;
+        let overhead = if kind.is_desc() { 1.03 } else { 1.0 };
+        run_custom(kind.build_paper_config(), cfg, p, scale, overhead).l2_energy()
+    });
+    let totals: Vec<f64> =
+        (0..configs.len()).map(|c| per_app.iter().map(|row| row[c]).sum()).collect();
+    let rows: Vec<(&str, f64, f64)> = kinds
+        .into_iter()
+        .enumerate()
+        .map(|(i, kind)| (kind.label(), totals[2 * i], totals[2 * i + 1]))
+        .collect();
     let base = rows[0].1; // full-swing binary
     let mut t = Table::new(
         "Ablation: full-swing vs low-swing wires (L2 energy vs full-swing binary)",

@@ -2,7 +2,7 @@
 //! the L2 controller and the data arrays (paper: ≈31% zeros, roughly
 //! uniform non-zero tail).
 
-use crate::common::Scale;
+use crate::common::{run_matrix, Scale};
 use crate::table::{r3, Table};
 use desc_workloads::ChunkStats;
 
@@ -10,11 +10,13 @@ use desc_workloads::ChunkStats;
 #[must_use]
 pub fn run(scale: &Scale) -> Table {
     let blocks = (scale.accesses / 4).max(200);
-    let mut totals = [0.0f64; 16];
     let suite = scale.suite();
-    for p in &suite {
-        let stats = ChunkStats::measure_stream(&mut p.value_stream(scale.seed), blocks);
-        for (i, f) in stats.frequencies().iter().enumerate() {
+    let per_app = run_matrix(&[()], &suite, scale, |&(), p| {
+        ChunkStats::measure_stream(&mut p.value_stream(scale.seed), blocks).frequencies()
+    });
+    let mut totals = [0.0f64; 16];
+    for row in &per_app {
+        for (i, f) in row[0].iter().enumerate() {
             totals[i] += f;
         }
     }

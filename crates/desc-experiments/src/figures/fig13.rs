@@ -1,7 +1,7 @@
 //! Fig. 13: fraction of chunks that match the previously transmitted
 //! chunk on their wire (paper geomean ≈ 0.39).
 
-use crate::common::Scale;
+use crate::common::{run_matrix, Scale};
 use crate::table::{geomean, r3, Table};
 use desc_workloads::ChunkStats;
 
@@ -13,12 +13,15 @@ pub fn run(scale: &Scale) -> Table {
         "Fig. 13: fraction of chunks matching the previous chunk on their wire",
         &["App", "Repeat fraction"],
     );
-    let mut fractions = Vec::new();
-    for p in scale.suite() {
+    let suite = scale.suite();
+    let per_app = run_matrix(&[()], &suite, scale, |&(), p| {
         let stats = ChunkStats::measure_stream(&mut p.value_stream(scale.seed), blocks);
-        let f = stats.repeat_fraction().max(1e-6);
-        fractions.push(f);
-        t.row_owned(vec![p.name.into(), r3(f)]);
+        stats.repeat_fraction().max(1e-6)
+    });
+    let mut fractions = Vec::new();
+    for (p, row) in suite.iter().zip(&per_app) {
+        fractions.push(row[0]);
+        t.row_owned(vec![p.name.into(), r3(row[0])]);
     }
     t.row_owned(vec!["Geomean".into(), r3(geomean(&fractions))]);
     t.note("paper geomean ≈ 0.39");

@@ -4,7 +4,7 @@
 //! minimises both L2 and total processor energy at a negligible
 //! performance cost.
 
-use crate::common::{run_custom, Scale};
+use crate::common::{run_custom, run_matrix, Scale};
 use crate::table::{r2, Table};
 use desc_cacti::DeviceType;
 use desc_core::schemes::SchemeKind;
@@ -18,39 +18,44 @@ pub fn run(scale: &Scale) -> Table {
         &["Cells-Periphery", "L2 energy", "Exec time", "Processor energy"],
     );
     let suite = scale.suite();
-    let measure = |cell: DeviceType, periphery: DeviceType| -> (f64, f64, f64) {
-        let mut l2 = 0.0;
-        let mut time = 0.0;
-        let mut proc = 0.0;
-        for p in &suite {
-            let mut cfg = SimConfig::paper_multithreaded();
-            cfg.l2.cell_device = cell;
-            cfg.l2.periphery_device = periphery;
-            let run = run_custom(
-                SchemeKind::ConventionalBinary.build_paper_config(),
-                cfg,
-                p,
-                scale,
-                1.0,
-            );
-            l2 += run.l2_energy();
-            time += run.result.exec_time_s;
-            proc += run.processor.processor_total_j();
-        }
-        (l2, time, proc)
-    };
+    let pairs: Vec<(DeviceType, DeviceType)> = DeviceType::ALL
+        .into_iter()
+        .flat_map(|cell| DeviceType::ALL.into_iter().map(move |peri| (cell, peri)))
+        .collect();
+    let per_app = run_matrix(&pairs, &suite, scale, |&(cell, periphery), p| {
+        let mut cfg = SimConfig::paper_multithreaded();
+        cfg.l2.cell_device = cell;
+        cfg.l2.periphery_device = periphery;
+        let run = run_custom(
+            SchemeKind::ConventionalBinary.build_paper_config(),
+            cfg,
+            p,
+            scale,
+            1.0,
+        );
+        (run.l2_energy(), run.result.exec_time_s, run.processor.processor_total_j())
+    });
+    // Sum each configuration's columns over the suite.
+    let sums: Vec<(f64, f64, f64)> = (0..pairs.len())
+        .map(|c| {
+            per_app.iter().fold((0.0, 0.0, 0.0), |acc, row| {
+                (acc.0 + row[c].0, acc.1 + row[c].1, acc.2 + row[c].2)
+            })
+        })
+        .collect();
 
-    let (base_l2, base_time, base_proc) = measure(DeviceType::Lstp, DeviceType::Lstp);
-    for cell in DeviceType::ALL {
-        for periphery in DeviceType::ALL {
-            let (l2, time, proc) = measure(cell, periphery);
-            t.row_owned(vec![
-                format!("{cell}-{periphery}"),
-                r2(l2 / base_l2),
-                r2(time / base_time),
-                r2(proc / base_proc),
-            ]);
-        }
+    let base_index = pairs
+        .iter()
+        .position(|&p| p == (DeviceType::Lstp, DeviceType::Lstp))
+        .expect("LSTP-LSTP is part of the sweep");
+    let (base_l2, base_time, base_proc) = sums[base_index];
+    for ((cell, periphery), (l2, time, proc)) in pairs.iter().zip(&sums) {
+        t.row_owned(vec![
+            format!("{cell}-{periphery}"),
+            r2(l2 / base_l2),
+            r2(time / base_time),
+            r2(proc / base_proc),
+        ]);
     }
     t.note("paper: LSTP-LSTP minimises energy; HP is ≈2x faster at the array but <2% end-to-end");
     t

@@ -3,7 +3,7 @@
 //! configuration of each scheme (starred in the paper) becomes its
 //! Fig. 16 baseline.
 
-use crate::common::{run_custom, Scale};
+use crate::common::{run_custom, run_matrix, Scale};
 use crate::table::{r2, Table};
 use desc_core::schemes::{
     BusInvertScheme, DzcScheme, EncodedZeroSkipBusInvertScheme, SchemeKind,
@@ -30,30 +30,33 @@ fn build(scheme: &str, seg: usize) -> Box<dyn TransferScheme> {
 pub fn run(scale: &Scale) -> Table {
     let suite = scale.suite();
     let cfg = SimConfig::paper_multithreaded();
-    let mut binary_total = 0.0;
-    for p in &suite {
-        binary_total += run_custom(
-            SchemeKind::ConventionalBinary.build_paper_config(),
-            cfg,
-            p,
-            scale,
-            1.0,
-        )
-        .l2_energy();
+    // One sweep over binary (the baseline, segment ignored) plus every
+    // scheme × segment configuration.
+    const SCHEMES: [&str; 4] = ["DZC", "BIC", "BIC+ZS", "BIC+EZS"];
+    let mut configs: Vec<(&str, usize)> = vec![("Binary", 0)];
+    for name in SCHEMES {
+        configs.extend(SEGMENT_BITS.iter().map(|&seg| (name, seg)));
     }
+    let per_app = run_matrix(&configs, &suite, scale, |&(name, seg), p| {
+        if name == "Binary" {
+            run_custom(SchemeKind::ConventionalBinary.build_paper_config(), cfg, p, scale, 1.0)
+                .l2_energy()
+        } else {
+            run_custom(build(name, seg), cfg, p, scale, 1.005).l2_energy()
+        }
+    });
+    let totals: Vec<f64> =
+        (0..configs.len()).map(|c| per_app.iter().map(|row| row[c]).sum()).collect();
+    let binary_total = totals[0];
 
     let mut t = Table::new(
         "Fig. 15: baseline L2 energy vs segment size (normalised to binary)",
         &["Scheme", "64-bit", "32-bit", "16-bit", "8-bit", "4-bit"],
     );
-    for name in ["DZC", "BIC", "BIC+ZS", "BIC+EZS"] {
-        let mut cells = vec![name.to_owned()];
-        for seg in SEGMENT_BITS {
-            let mut sum = 0.0;
-            for p in &suite {
-                sum += run_custom(build(name, seg), cfg, p, scale, 1.005).l2_energy();
-            }
-            cells.push(r2(sum / binary_total));
+    for (i, name) in SCHEMES.iter().enumerate() {
+        let mut cells = vec![(*name).to_owned()];
+        for j in 0..SEGMENT_BITS.len() {
+            cells.push(r2(totals[1 + i * SEGMENT_BITS.len() + j] / binary_total));
         }
         t.row_owned(cells);
     }

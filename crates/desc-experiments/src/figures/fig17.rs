@@ -4,7 +4,8 @@
 use crate::table::Table;
 use desc_core::synthesis::DescInterfaceModel;
 
-/// Runs the experiment (pure model, no scale).
+/// Runs the experiment (pure model, no scale — there is no sweep to
+/// fan across `--jobs` workers here).
 #[must_use]
 pub fn run() -> Table {
     let m = DescInterfaceModel::paper_default();

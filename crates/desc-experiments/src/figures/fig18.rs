@@ -3,7 +3,7 @@
 //! total. Paper: zero-skipped DESC halves dynamic energy at a 3%
 //! static overhead.
 
-use crate::common::{run_app, Scale};
+use crate::common::{run_app, run_matrix, Scale};
 use crate::table::{r3, Table};
 use desc_core::schemes::SchemeKind;
 
@@ -15,16 +15,15 @@ pub fn run(scale: &Scale) -> Table {
         "Fig. 18: static and dynamic L2 energy by technique (normalised to binary total)",
         &["Scheme", "Static", "Dynamic", "Total"],
     );
+    let per_app = run_matrix(&SchemeKind::ALL, &suite, scale, |&kind, p| {
+        let run = run_app(kind, p, scale);
+        (run.l2.static_j, run.l2.array_dynamic_j + run.l2.htree_dynamic_j)
+    });
     let mut rows = Vec::new();
     let mut binary_total = 0.0;
-    for kind in SchemeKind::ALL {
-        let mut static_j = 0.0;
-        let mut dynamic_j = 0.0;
-        for p in &suite {
-            let run = run_app(kind, p, scale);
-            static_j += run.l2.static_j;
-            dynamic_j += run.l2.array_dynamic_j + run.l2.htree_dynamic_j;
-        }
+    for (i, kind) in SchemeKind::ALL.into_iter().enumerate() {
+        let static_j: f64 = per_app.iter().map(|row| row[i].0).sum();
+        let dynamic_j: f64 = per_app.iter().map(|row| row[i].1).sum();
         if kind == SchemeKind::ConventionalBinary {
             binary_total = static_j + dynamic_j;
         }

@@ -2,7 +2,7 @@
 //! L2, normalised to binary encoding, split into L2 and other
 //! hardware units. Paper: 7% total processor savings.
 
-use crate::common::{run_app, Scale};
+use crate::common::{run_app, run_matrix, Scale};
 use crate::table::{geomean, r3, Table};
 use desc_core::schemes::SchemeKind;
 
@@ -13,10 +13,12 @@ pub fn run(scale: &Scale) -> Table {
         "Fig. 19: processor energy with zero-skipped DESC (normalised to binary)",
         &["App", "L2 share", "Other units share", "Total"],
     );
+    let kinds = [SchemeKind::ConventionalBinary, SchemeKind::ZeroSkippedDesc];
+    let suite = scale.suite();
+    let per_app = run_matrix(&kinds, &suite, scale, |&kind, p| run_app(kind, p, scale));
     let mut totals = Vec::new();
-    for p in scale.suite() {
-        let base = run_app(SchemeKind::ConventionalBinary, &p, scale);
-        let desc = run_app(SchemeKind::ZeroSkippedDesc, &p, scale);
+    for (p, row) in suite.iter().zip(&per_app) {
+        let (base, desc) = (&row[0], &row[1]);
         let denom = base.processor.processor_total_j();
         let l2 = desc.l2.total() / denom;
         let other = desc.processor.other_units_j() / denom;

@@ -4,7 +4,7 @@
 //! baseline. Paper: DESC points push the energy frontier left without
 //! significantly increasing access latency.
 
-use crate::common::{run_custom, Scale};
+use crate::common::{run_custom, run_matrix, Scale};
 use crate::table::{r2, Table};
 use desc_core::schemes::{BinaryScheme, DescScheme, SkipMode};
 use desc_core::{ChunkSize, TransferScheme};
@@ -23,44 +23,52 @@ pub const POINTS: [(usize, usize); 9] = [
     (32, 256),
 ];
 
-fn measure(scale: &Scale, banks: usize, wires: usize, desc: bool) -> (f64, f64) {
-    let mut cfg = SimConfig::paper_multithreaded();
-    cfg.l2.banks = banks;
-    let mut energy = 0.0;
-    let mut time = 0.0;
-    for p in scale.suite() {
+/// Runs the experiment.
+#[must_use]
+pub fn run(scale: &Scale) -> Table {
+    let suite = scale.suite();
+    // Configurations: every point under binary, then under DESC; the
+    // normalisation baseline (8 banks, 64-bit binary) is one of them.
+    let configs: Vec<(bool, usize, usize)> = [false, true]
+        .into_iter()
+        .flat_map(|desc| POINTS.into_iter().map(move |(banks, wires)| (desc, banks, wires)))
+        .collect();
+    let per_app = run_matrix(&configs, &suite, scale, |&(desc, banks, wires), p| {
+        let mut cfg = SimConfig::paper_multithreaded();
+        cfg.l2.banks = banks;
         let scheme: Box<dyn TransferScheme> = if desc {
             Box::new(DescScheme::new(wires, ChunkSize::PAPER_DEFAULT, SkipMode::Zero))
         } else {
             Box::new(BinaryScheme::new(wires))
         };
         let overhead = if desc { 1.03 } else { 1.0 };
-        let run = run_custom(scheme, cfg, &p, scale, overhead);
-        energy += run.l2_energy();
-        time += run.result.exec_time_s;
-    }
-    (energy, time)
-}
-
-/// Runs the experiment.
-#[must_use]
-pub fn run(scale: &Scale) -> Table {
-    let (base_e, base_t) = measure(scale, 8, 64, false);
+        let run = run_custom(scheme, cfg, p, scale, overhead);
+        (run.l2_energy(), run.result.exec_time_s)
+    });
+    let sums: Vec<(f64, f64)> = (0..configs.len())
+        .map(|c| {
+            per_app
+                .iter()
+                .fold((0.0, 0.0), |acc, row| (acc.0 + row[c].0, acc.1 + row[c].1))
+        })
+        .collect();
+    let base_index = configs
+        .iter()
+        .position(|&c| c == (false, 8, 64))
+        .expect("the 8-bank 64-bit binary baseline is part of the sweep");
+    let (base_e, base_t) = sums[base_index];
     let mut t = Table::new(
         "Fig. 22: design space — L2 energy vs execution time (normalised to 8 banks, 64-bit binary)",
         &["Scheme", "Banks", "Wires", "L2 energy", "Exec time"],
     );
-    for desc in [false, true] {
-        for (banks, wires) in POINTS {
-            let (e, x) = measure(scale, banks, wires, desc);
-            t.row_owned(vec![
-                if desc { "Zero-skip DESC" } else { "Binary" }.into(),
-                banks.to_string(),
-                wires.to_string(),
-                r2(e / base_e),
-                r2(x / base_t),
-            ]);
-        }
+    for (&(desc, banks, wires), &(e, x)) in configs.iter().zip(&sums) {
+        t.row_owned(vec![
+            if desc { "Zero-skip DESC" } else { "Binary" }.into(),
+            banks.to_string(),
+            wires.to_string(),
+            r2(e / base_e),
+            r2(x / base_t),
+        ]);
     }
     t.note("paper: DESC opens lower-energy design points at similar execution time");
     t

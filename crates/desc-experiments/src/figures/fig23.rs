@@ -1,7 +1,7 @@
 //! Fig. 23: execution time of zero-skipped DESC on an 8 MB S-NUCA-1
 //! cache, normalised to binary S-NUCA-1 (paper: ≈1% penalty).
 
-use crate::common::Scale;
+use crate::common::{run_matrix, Scale};
 use crate::table::{geomean, r3, Table};
 use desc_core::schemes::SchemeKind;
 use desc_sim::{SimConfig, SnucaSim};
@@ -14,14 +14,17 @@ pub fn run(scale: &Scale) -> Table {
         &["App", "Normalised execution time"],
     );
     let cfg = SimConfig::paper_multithreaded();
-    let mut ratios = Vec::new();
-    for p in scale.suite() {
-        let sim = SnucaSim::new(cfg, p, scale.seed);
+    let suite = scale.suite();
+    let per_app = run_matrix(&[()], &suite, scale, |&(), p| {
+        let sim = SnucaSim::new(cfg, *p, scale.seed);
         let bin = sim.run(&|| SchemeKind::ConventionalBinary.build_paper_config(), scale.accesses);
         let desc = sim.run(&|| SchemeKind::ZeroSkippedDesc.build_paper_config(), scale.accesses);
-        let r = desc.exec_time_s / bin.exec_time_s;
-        ratios.push(r);
-        t.row_owned(vec![p.name.into(), r3(r)]);
+        desc.exec_time_s / bin.exec_time_s
+    });
+    let mut ratios = Vec::new();
+    for (p, row) in suite.iter().zip(&per_app) {
+        ratios.push(row[0]);
+        t.row_owned(vec![p.name.into(), r3(row[0])]);
     }
     t.row_owned(vec!["Geomean".into(), r3(geomean(&ratios))]);
     t.note("paper geomean ≈ 1.01");

@@ -2,7 +2,7 @@
 //! normalised to binary S-NUCA-1 (paper: 1.62× improvement, i.e.
 //! ≈0.62 normalised).
 
-use crate::common::Scale;
+use crate::common::{run_matrix, Scale};
 use crate::table::{geomean, r2, Table};
 use desc_core::schemes::SchemeKind;
 use desc_sim::{SimConfig, SnucaSim};
@@ -15,16 +15,19 @@ pub fn run(scale: &Scale) -> Table {
         &["App", "Normalised L2 energy"],
     );
     let cfg = SimConfig::paper_multithreaded();
-    let mut ratios = Vec::new();
-    for p in scale.suite() {
-        let sim = SnucaSim::new(cfg, p, scale.seed);
+    let suite = scale.suite();
+    let per_app = run_matrix(&[()], &suite, scale, |&(), p| {
+        let sim = SnucaSim::new(cfg, *p, scale.seed);
         let bin = sim.run(&|| SchemeKind::ConventionalBinary.build_paper_config(), scale.accesses);
         let desc = sim.run(&|| SchemeKind::ZeroSkippedDesc.build_paper_config(), scale.accesses);
         // DESC interfaces add static overhead here too.
-        let r = (desc.wire_energy_j + desc.array_energy_j + desc.static_energy_j * 1.03)
-            / bin.total_energy_j();
-        ratios.push(r);
-        t.row_owned(vec![p.name.into(), r2(r)]);
+        (desc.wire_energy_j + desc.array_energy_j + desc.static_energy_j * 1.03)
+            / bin.total_energy_j()
+    });
+    let mut ratios = Vec::new();
+    for (p, row) in suite.iter().zip(&per_app) {
+        ratios.push(row[0]);
+        t.row_owned(vec![p.name.into(), r2(row[0])]);
     }
     t.row_owned(vec!["Geomean".into(), r2(geomean(&ratios))]);
     t.note("paper geomean ≈ 0.62 (1.62x energy reduction)");

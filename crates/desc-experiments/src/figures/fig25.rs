@@ -3,7 +3,7 @@
 //! banks removes most bank conflicts; ≈8 banks minimises both energy
 //! and time; beyond that per-bank overheads grow.
 
-use crate::common::{run_custom, Scale};
+use crate::common::{run_custom, run_matrix, Scale};
 use crate::table::{r2, Table};
 use desc_core::schemes::SchemeKind;
 use desc_sim::SimConfig;
@@ -15,26 +15,29 @@ pub const BANKS: [usize; 7] = [1, 2, 4, 8, 16, 32, 64];
 #[must_use]
 pub fn run(scale: &Scale) -> Table {
     let suite = scale.suite();
-    let measure = |banks: usize, kind: SchemeKind| -> (f64, f64) {
+    // The 8-bank binary baseline, then DESC at every bank count.
+    let mut configs: Vec<(usize, SchemeKind)> = vec![(8, SchemeKind::ConventionalBinary)];
+    configs.extend(BANKS.iter().map(|&b| (b, SchemeKind::ZeroSkippedDesc)));
+    let per_app = run_matrix(&configs, &suite, scale, |&(banks, kind), p| {
         let mut cfg = SimConfig::paper_multithreaded();
         cfg.l2.banks = banks;
-        let mut e = 0.0;
-        let mut x = 0.0;
-        for p in &suite {
-            let overhead = if kind.is_desc() { 1.03 } else { 1.0 };
-            let run = run_custom(kind.build_paper_config(), cfg, p, scale, overhead);
-            e += run.l2_energy();
-            x += run.result.exec_time_s;
-        }
-        (e, x)
-    };
-    let (base_e, base_x) = measure(8, SchemeKind::ConventionalBinary);
+        let overhead = if kind.is_desc() { 1.03 } else { 1.0 };
+        let run = run_custom(kind.build_paper_config(), cfg, p, scale, overhead);
+        (run.l2_energy(), run.result.exec_time_s)
+    });
+    let sums: Vec<(f64, f64)> = (0..configs.len())
+        .map(|c| {
+            per_app
+                .iter()
+                .fold((0.0, 0.0), |acc, row| (acc.0 + row[c].0, acc.1 + row[c].1))
+        })
+        .collect();
+    let (base_e, base_x) = sums[0];
     let mut t = Table::new(
         "Fig. 25: zero-skipped DESC sensitivity to bank count (normalised to 8-bank binary)",
         &["Banks", "L2 energy", "Exec time"],
     );
-    for banks in BANKS {
-        let (e, x) = measure(banks, SchemeKind::ZeroSkippedDesc);
+    for (banks, (e, x)) in BANKS.iter().zip(&sums[1..]) {
         t.row_owned(vec![banks.to_string(), r2(e / base_e), r2(x / base_x)]);
     }
     t.note("paper: time drops sharply 1→2 banks; energy-delay optimum near 8 banks");

@@ -3,7 +3,7 @@
 //! binary baseline. Paper: 4-bit chunks with 128 wires give the best
 //! energy-delay product; 8-bit chunks suffer long windows.
 
-use crate::common::{run_custom, Scale};
+use crate::common::{run_custom, run_matrix, Scale};
 use crate::table::{r2, Table};
 use desc_core::schemes::{DescScheme, SkipMode};
 use desc_core::ChunkSize;
@@ -19,44 +19,49 @@ pub const WIRES: [usize; 4] = [32, 64, 128, 256];
 pub fn run(scale: &Scale) -> Table {
     let suite = scale.suite();
     let cfg = SimConfig::paper_multithreaded();
-    let mut base_e = 0.0;
-    let mut base_x = 0.0;
-    for p in &suite {
-        let run = run_custom(
-            desc_core::schemes::SchemeKind::ConventionalBinary.build_paper_config(),
-            cfg,
-            p,
-            scale,
-            1.0,
-        );
-        base_e += run.l2_energy();
-        base_x += run.result.exec_time_s;
+    // Chunk bits 0 marks the binary baseline configuration.
+    let mut configs: Vec<(u8, usize)> = vec![(0, 0)];
+    for bits in CHUNKS {
+        configs.extend(WIRES.iter().map(|&w| (bits, w)));
     }
+    let per_app = run_matrix(&configs, &suite, scale, |&(bits, wires), p| {
+        let run = if bits == 0 {
+            run_custom(
+                desc_core::schemes::SchemeKind::ConventionalBinary.build_paper_config(),
+                cfg,
+                p,
+                scale,
+                1.0,
+            )
+        } else {
+            let scheme = Box::new(DescScheme::new(
+                wires,
+                ChunkSize::new(bits).expect("valid"),
+                SkipMode::Zero,
+            ));
+            run_custom(scheme, cfg, p, scale, 1.03)
+        };
+        (run.l2_energy(), run.result.exec_time_s)
+    });
+    let sums: Vec<(f64, f64)> = (0..configs.len())
+        .map(|c| {
+            per_app
+                .iter()
+                .fold((0.0, 0.0), |acc, row| (acc.0 + row[c].0, acc.1 + row[c].1))
+        })
+        .collect();
+    let (base_e, base_x) = sums[0];
     let mut t = Table::new(
         "Fig. 26: zero-skipped DESC vs chunk size and wires (normalised to binary)",
         &["Chunk bits", "Wires", "L2 energy", "Exec time"],
     );
-    for bits in CHUNKS {
-        for wires in WIRES {
-            let mut e = 0.0;
-            let mut x = 0.0;
-            for p in &suite {
-                let scheme = Box::new(DescScheme::new(
-                    wires,
-                    ChunkSize::new(bits).expect("valid"),
-                    SkipMode::Zero,
-                ));
-                let run = run_custom(scheme, cfg, p, scale, 1.03);
-                e += run.l2_energy();
-                x += run.result.exec_time_s;
-            }
-            t.row_owned(vec![
-                bits.to_string(),
-                wires.to_string(),
-                r2(e / base_e),
-                r2(x / base_x),
-            ]);
-        }
+    for (&(bits, wires), &(e, x)) in configs.iter().zip(&sums).skip(1) {
+        t.row_owned(vec![
+            bits.to_string(),
+            wires.to_string(),
+            r2(e / base_e),
+            r2(x / base_x),
+        ]);
     }
     t.note("paper: 4-bit chunks with 128 wires give the best L2 energy-delay product");
     t

@@ -3,7 +3,7 @@
 //! cache. Paper: DESC improves energy 1.87× (512 KB) to 1.75×
 //! (64 MB).
 
-use crate::common::{run_custom, Scale};
+use crate::common::{run_custom, run_matrix, Scale};
 use crate::table::{r2, Table};
 use desc_core::schemes::SchemeKind;
 use desc_sim::SimConfig;
@@ -24,23 +24,34 @@ pub const CAPACITIES: [usize; 8] = [
 #[must_use]
 pub fn run(scale: &Scale) -> Table {
     let suite = scale.suite();
-    let measure = |capacity: usize, kind: SchemeKind| -> f64 {
+    let configs: Vec<(usize, SchemeKind)> = CAPACITIES
+        .into_iter()
+        .flat_map(|cap| {
+            [SchemeKind::ConventionalBinary, SchemeKind::ZeroSkippedDesc]
+                .into_iter()
+                .map(move |kind| (cap, kind))
+        })
+        .collect();
+    let per_app = run_matrix(&configs, &suite, scale, |&(capacity, kind), p| {
         let mut cfg = SimConfig::paper_multithreaded();
         cfg.l2.capacity_bytes = capacity;
         let overhead = if kind.is_desc() { 1.03 } else { 1.0 };
-        suite
-            .iter()
-            .map(|p| run_custom(kind.build_paper_config(), cfg, p, scale, overhead).l2_energy())
-            .sum()
-    };
-    let base = measure(8 << 20, SchemeKind::ConventionalBinary);
+        run_custom(kind.build_paper_config(), cfg, p, scale, overhead).l2_energy()
+    });
+    let sums: Vec<f64> =
+        (0..configs.len()).map(|c| per_app.iter().map(|row| row[c]).sum()).collect();
+    let base_index = configs
+        .iter()
+        .position(|&c| c == (8 << 20, SchemeKind::ConventionalBinary))
+        .expect("the 8MB binary baseline is part of the sweep");
+    let base = sums[base_index];
     let mut t = Table::new(
         "Fig. 27: L2 energy vs capacity (normalised to 8MB binary)",
         &["Capacity", "Binary", "Zero-skip DESC", "DESC improvement"],
     );
-    for cap in CAPACITIES {
-        let bin = measure(cap, SchemeKind::ConventionalBinary) / base;
-        let desc = measure(cap, SchemeKind::ZeroSkippedDesc) / base;
+    for (i, cap) in CAPACITIES.into_iter().enumerate() {
+        let bin = sums[2 * i] / base;
+        let desc = sums[2 * i + 1] / base;
         let label = if cap >= 1 << 20 {
             format!("{}MB", cap >> 20)
         } else {

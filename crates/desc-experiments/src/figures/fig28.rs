@@ -3,7 +3,7 @@
 //! segments), normalised to 64-bit binary with 64-bit-segment ECC.
 //! Paper: zero-skipped DESC stays within ≈1% of binary.
 
-use crate::common::{run_custom, Scale};
+use crate::common::{run_custom, run_matrix, Scale};
 use crate::table::{geomean, r3, Table};
 use desc_core::schemes::{BinaryScheme, DescScheme, SkipMode};
 use desc_core::{ChunkSize, TransferScheme};
@@ -50,17 +50,21 @@ pub fn build_config(name: &str) -> Box<dyn TransferScheme> {
 #[must_use]
 pub fn measure(scale: &Scale) -> Vec<(String, [f64; 4], [f64; 4])> {
     let cfg = SimConfig::paper_multithreaded();
-    scale
-        .suite()
+    let suite = scale.suite();
+    let per_app = run_matrix(&CONFIGS, &suite, scale, |name, p| {
+        let overhead = if name.contains("DESC") { 1.03 } else { 1.0 };
+        let run = run_custom(build_config(name), cfg, p, scale, overhead);
+        (run.result.exec_time_s, run.l2_energy())
+    });
+    suite
         .iter()
-        .map(|p| {
+        .zip(&per_app)
+        .map(|(p, row)| {
             let mut times = [0.0; 4];
             let mut energies = [0.0; 4];
-            for (i, name) in CONFIGS.iter().enumerate() {
-                let overhead = if name.contains("DESC") { 1.03 } else { 1.0 };
-                let run = run_custom(build_config(name), cfg, p, scale, overhead);
-                times[i] = run.result.exec_time_s;
-                energies[i] = run.l2_energy();
+            for (i, &(x, e)) in row.iter().enumerate() {
+                times[i] = x;
+                energies[i] = e;
             }
             (p.name.to_owned(), times, energies)
         })

@@ -3,7 +3,7 @@
 //! (paper geomean ≈ 1.06 — latency-sensitive cores pay for DESC's
 //! longer transfers).
 
-use crate::common::{run_custom, Scale};
+use crate::common::{run_custom, run_matrix, Scale};
 use crate::table::{geomean, r3, Table};
 use desc_core::schemes::SchemeKind;
 use desc_sim::SimConfig;
@@ -17,19 +17,15 @@ pub fn run(scale: &Scale) -> Table {
         &["App", "Normalised execution time"],
     );
     let cfg = SimConfig::paper_out_of_order();
-    let mut ratios = Vec::new();
     let apps: Vec<_> = spec_suite().into_iter().take(scale.apps.max(2)).collect();
-    for p in apps {
-        let bin = run_custom(
-            SchemeKind::ConventionalBinary.build_paper_config(),
-            cfg,
-            &p,
-            scale,
-            1.0,
-        );
-        let desc =
-            run_custom(SchemeKind::ZeroSkippedDesc.build_paper_config(), cfg, &p, scale, 1.03);
-        let r = desc.result.exec_time_s / bin.result.exec_time_s;
+    let kinds = [SchemeKind::ConventionalBinary, SchemeKind::ZeroSkippedDesc];
+    let per_app = run_matrix(&kinds, &apps, scale, |&kind, p| {
+        let overhead = if kind.is_desc() { 1.03 } else { 1.0 };
+        run_custom(kind.build_paper_config(), cfg, p, scale, overhead).result.exec_time_s
+    });
+    let mut ratios = Vec::new();
+    for (p, row) in apps.iter().zip(&per_app) {
+        let r = row[1] / row[0];
         ratios.push(r);
         t.row_owned(vec![p.name.into(), r3(r)]);
     }

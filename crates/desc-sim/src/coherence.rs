@@ -141,9 +141,17 @@ impl Directory {
                 self.stats.writebacks += 1;
                 self.stats.interventions += 1;
                 entry.dirty = false;
+                if desc_telemetry::enabled() {
+                    desc_telemetry::counter!("sim.coherence.downgrades").incr();
+                    desc_telemetry::counter!("sim.coherence.writebacks").incr();
+                    desc_telemetry::counter!("sim.coherence.interventions").incr();
+                }
             } else if entry.owner.is_some() {
                 // E owner supplies data cache-to-cache.
                 self.stats.interventions += 1;
+                if desc_telemetry::enabled() {
+                    desc_telemetry::counter!("sim.coherence.interventions").incr();
+                }
             }
             entry.owner = None;
             entry.sharers |= me;
@@ -177,15 +185,25 @@ impl Directory {
         let others = entry.sharers & !me;
         if others != 0 {
             self.stats.invalidations += u64::from(others.count_ones());
+            if desc_telemetry::enabled() {
+                desc_telemetry::counter!("sim.coherence.invalidations")
+                    .add(u64::from(others.count_ones()));
+            }
             if entry.dirty && entry.owner != Some(core) {
                 // Remote M line is transferred, not written back.
                 self.stats.interventions += 1;
+                if desc_telemetry::enabled() {
+                    desc_telemetry::counter!("sim.coherence.interventions").incr();
+                }
             }
         }
         if entry.sharers & me != 0 && entry.owner.is_none() {
             // S → M needs an upgrade request even with no other sharer
             // race, counted per transition.
             self.stats.upgrades += 1;
+            if desc_telemetry::enabled() {
+                desc_telemetry::counter!("sim.coherence.upgrades").incr();
+            }
         }
         entry.sharers = me;
         entry.owner = Some(core);
@@ -215,6 +233,9 @@ impl Directory {
                 }
                 if was_dirty {
                     self.stats.writebacks += 1;
+                    if desc_telemetry::enabled() {
+                        desc_telemetry::counter!("sim.coherence.writebacks").incr();
+                    }
                     return true;
                 }
             }

@@ -101,7 +101,7 @@ impl CoreComplex {
             let _ = self.directory.read(access.core, access.addr);
         }
         let outcome = self.l1d[core].access(access.addr, access.write, access.core);
-        match outcome {
+        let result = match outcome {
             crate::cache::CacheOutcome::Hit => {
                 self.stats.hits += 1;
                 None
@@ -112,7 +112,19 @@ impl CoreComplex {
                 }
                 Some(access)
             }
+        };
+        // Mirror into the global registry; the per-instance `L1Stats`
+        // stays authoritative for per-run figure math.
+        if desc_telemetry::enabled() {
+            desc_telemetry::counter!("sim.l1.accesses").incr();
+            if result.is_none() {
+                desc_telemetry::counter!("sim.l1.hits").incr();
+            }
+            if matches!(outcome, crate::cache::CacheOutcome::Miss { writeback: true }) {
+                desc_telemetry::counter!("sim.l1.writebacks").incr();
+            }
         }
+        result
     }
 
     /// L1-layer statistics.

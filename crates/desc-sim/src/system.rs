@@ -130,6 +130,11 @@ impl SystemSim {
         let mut misses = 0u64;
         let mut writebacks = 0u64;
         let mut hit_latency_sum = 0u64;
+        // Telemetry is checked once per run; the per-access cost when
+        // enabled is plain (non-atomic) local-histogram adds, merged
+        // into the global registry after the timing phase.
+        let telemetry = desc_telemetry::enabled();
+        let mut hit_latency_hist = desc_telemetry::LocalHistogram::new();
 
         for _ in 0..accesses {
             let Access { addr, write, core } = trace_gen.next_access();
@@ -170,6 +175,9 @@ impl SystemSim {
                     }
                     let latency = array + tree + cycles + iface;
                     hit_latency_sum += latency;
+                    if telemetry {
+                        hit_latency_hist.record(latency);
+                    }
                     records.push(AccessRecord {
                         addr,
                         bank,
@@ -213,10 +221,25 @@ impl SystemSim {
         let mut cpa = base_cpa;
         let mut exec_cycles = base_cycles;
         let mut latency_sum = 0u64;
+        // Converged-iteration telemetry: re-initialised each pass, so
+        // the values merged below reflect the final fixed-point
+        // iteration only.
+        let mut queue_hist = desc_telemetry::LocalHistogram::new();
+        let mut access_latency_hist = desc_telemetry::LocalHistogram::new();
+        let mut bank_conflicts = 0u64;
+        let mut bank_busy_cycles = 0u64;
+        let mut dram_accesses = 0u64;
+        let mut dram_row_hits = 0u64;
         for _ in 0..3 {
             banks.reset();
             let mut dram = Dram::new(cfg.dram_channels, cfg.dram_latency_cycles, cfg.dram_occupancy_cycles);
             latency_sum = 0;
+            if telemetry {
+                queue_hist = desc_telemetry::LocalHistogram::new();
+                access_latency_hist = desc_telemetry::LocalHistogram::new();
+                bank_conflicts = 0;
+                bank_busy_cycles = 0;
+            }
             for (i, r) in records.iter().enumerate() {
                 let arrival = (i as f64 * cpa) as u64;
                 let (start, queue) = banks.schedule(r.bank, arrival, r.service);
@@ -227,7 +250,17 @@ impl SystemSim {
                     latency += done - issue;
                 }
                 latency_sum += latency;
+                if telemetry {
+                    queue_hist.record(queue);
+                    access_latency_hist.record(latency);
+                    if queue > 0 {
+                        bank_conflicts += 1;
+                    }
+                    bank_busy_cycles += r.service;
+                }
             }
+            dram_accesses = dram.accesses();
+            dram_row_hits = dram.row_hits();
             let stall_cycles = (latency_sum as f64 * exposure / cores) as u64;
             exec_cycles = (base_cycles + stall_cycles).max(banks.horizon());
             cpa = exec_cycles as f64 / accesses as f64;
@@ -235,6 +268,26 @@ impl SystemSim {
 
         let exec_time_s = exec_cycles as f64 * cfg.l2.tech.cycle_s();
         activity.elapsed_s = exec_time_s;
+
+        if telemetry {
+            desc_telemetry::counter!("sim.l2.accesses").add(accesses as u64);
+            desc_telemetry::counter!("sim.l2.hits").add(hits);
+            desc_telemetry::counter!("sim.l2.misses").add(misses);
+            desc_telemetry::counter!("sim.l2.writebacks").add(writebacks);
+            desc_telemetry::counter!("sim.l2.invalidations")
+                .add(l2.invalidations() - invalidations_at_warmup);
+            hit_latency_hist.flush_into(desc_telemetry::histogram!("sim.l2.hit_latency_cycles"));
+            access_latency_hist
+                .flush_into(desc_telemetry::histogram!("sim.l2.access_latency_cycles"));
+            queue_hist.flush_into(desc_telemetry::histogram!("sim.bank.queue_cycles"));
+            desc_telemetry::counter!("sim.bank.conflicts").add(bank_conflicts);
+            desc_telemetry::counter!("sim.bank.busy_cycles").add(bank_busy_cycles);
+            desc_telemetry::counter!("sim.dram.accesses").add(dram_accesses);
+            desc_telemetry::counter!("sim.dram.row_hits").add(dram_row_hits);
+            desc_telemetry::counter!("sim.dram.busy_cycles")
+                .add(dram_accesses * cfg.dram_occupancy_cycles);
+            desc_telemetry::counter!("sim.runs").incr();
+        }
 
         SimResult {
             accesses: accesses as u64,

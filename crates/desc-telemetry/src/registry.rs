@@ -1,0 +1,181 @@
+//! The process-wide metric registry and point-in-time snapshots.
+
+use crate::metrics::{Counter, Gauge, Histogram, HISTOGRAM_BUCKETS};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Named metrics, registered on first use and alive for the process
+/// lifetime (references are `&'static`, obtained by leaking one
+/// allocation per distinct metric name — bounded by the number of
+/// distinct names, not by call volume).
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, &'static Counter>>,
+    gauges: Mutex<BTreeMap<String, &'static Gauge>>,
+    histograms: Mutex<BTreeMap<String, &'static Histogram>>,
+}
+
+impl Registry {
+    /// An empty registry. Most callers want [`crate::global`] instead.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter registered under `name`, creating it on first use.
+    pub fn counter(&self, name: &str) -> &'static Counter {
+        let mut map = self.counters.lock().expect("counter registry poisoned");
+        if let Some(c) = map.get(name) {
+            return c;
+        }
+        let c: &'static Counter = Box::leak(Box::new(Counter::new()));
+        map.insert(name.to_owned(), c);
+        c
+    }
+
+    /// The gauge registered under `name`, creating it on first use.
+    pub fn gauge(&self, name: &str) -> &'static Gauge {
+        let mut map = self.gauges.lock().expect("gauge registry poisoned");
+        if let Some(g) = map.get(name) {
+            return g;
+        }
+        let g: &'static Gauge = Box::leak(Box::new(Gauge::new()));
+        map.insert(name.to_owned(), g);
+        g
+    }
+
+    /// The histogram registered under `name`, creating it on first use.
+    pub fn histogram(&self, name: &str) -> &'static Histogram {
+        let mut map = self.histograms.lock().expect("histogram registry poisoned");
+        if let Some(h) = map.get(name) {
+            return h;
+        }
+        let h: &'static Histogram = Box::leak(Box::new(Histogram::new()));
+        map.insert(name.to_owned(), h);
+        h
+    }
+
+    /// A point-in-time snapshot of every registered metric, sorted by
+    /// name (BTreeMap order), so two identical runs serialize
+    /// identically.
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        let mut metrics = Vec::new();
+        for (name, c) in self.counters.lock().expect("counter registry poisoned").iter() {
+            metrics.push((name.clone(), MetricValue::Counter(c.get())));
+        }
+        for (name, g) in self.gauges.lock().expect("gauge registry poisoned").iter() {
+            metrics.push((name.clone(), MetricValue::Gauge(g.get())));
+        }
+        for (name, h) in self.histograms.lock().expect("histogram registry poisoned").iter() {
+            metrics.push((
+                name.clone(),
+                MetricValue::Histogram {
+                    count: h.count(),
+                    sum: h.sum(),
+                    buckets: Box::new(h.buckets()),
+                },
+            ));
+        }
+        metrics.sort_by(|a, b| a.0.cmp(&b.0));
+        Snapshot { metrics }
+    }
+
+    /// Resets every registered metric to zero (names stay registered).
+    pub fn reset_all(&self) {
+        for c in self.counters.lock().expect("counter registry poisoned").values() {
+            c.reset();
+        }
+        for g in self.gauges.lock().expect("gauge registry poisoned").values() {
+            g.reset();
+        }
+        for h in self.histograms.lock().expect("histogram registry poisoned").values() {
+            h.reset();
+        }
+    }
+}
+
+/// A single metric's value at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricValue {
+    /// A counter total.
+    Counter(u64),
+    /// A gauge value.
+    Gauge(u64),
+    /// A histogram summary.
+    Histogram {
+        /// Number of samples.
+        count: u64,
+        /// Wrapping sum of samples.
+        sum: u64,
+        /// Per-bucket sample counts (see [`crate::metrics::bucket_index`]).
+        /// Boxed so the enum stays pointer-sized-ish for the common
+        /// counter/gauge variants.
+        buckets: Box<[u64; HISTOGRAM_BUCKETS]>,
+    },
+}
+
+/// A name-sorted snapshot of the registry.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// `(name, value)` pairs sorted by name.
+    pub metrics: Vec<(String, MetricValue)>,
+}
+
+impl Snapshot {
+    /// Looks up a counter total by name.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.metrics.iter().find_map(|(n, v)| match v {
+            MetricValue::Counter(c) if n == name => Some(*c),
+            _ => None,
+        })
+    }
+
+    /// Looks up a gauge value by name.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.metrics.iter().find_map(|(n, v)| match v {
+            MetricValue::Gauge(g) if n == name => Some(*g),
+            _ => None,
+        })
+    }
+
+    /// Looks up a histogram `(count, sum)` by name.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<(u64, u64)> {
+        self.metrics.iter().find_map(|(n, v)| match v {
+            MetricValue::Histogram { count, sum, .. } if n == name => Some((*count, *sum)),
+            _ => None,
+        })
+    }
+
+    /// Names present in the snapshot, in sorted order.
+    #[must_use]
+    pub fn names(&self) -> Vec<&str> {
+        self.metrics.iter().map(|(n, _)| n.as_str()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_once_and_snapshot() {
+        let r = Registry::new();
+        let a = r.counter("x.a");
+        let a2 = r.counter("x.a");
+        assert!(std::ptr::eq(a, a2));
+        a.add(7);
+        r.gauge("x.g").record_max(9);
+        r.histogram("x.h").record(3);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("x.a"), Some(7));
+        assert_eq!(snap.gauge("x.g"), Some(9));
+        assert_eq!(snap.histogram("x.h"), Some((1, 3)));
+        assert_eq!(snap.names(), vec!["x.a", "x.g", "x.h"]);
+        r.reset_all();
+        assert_eq!(r.snapshot().counter("x.a"), Some(0));
+    }
+}

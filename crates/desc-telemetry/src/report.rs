@@ -1,0 +1,169 @@
+//! Machine-readable run reports: registry snapshot + run metadata
+//! serialized through the in-tree [`Json`] writer.
+//!
+//! Schema (`desc-run-report/v1`), top-level keys:
+//!
+//! - `schema` — the literal `"desc-run-report/v1"`.
+//! - `meta` — tool name/version, seed, scale, jobs, experiment list,
+//!   and a wall-clock timestamp (the one intentionally
+//!   non-deterministic field).
+//! - `metrics` — one entry per registered metric, name-sorted; each is
+//!   a typed object (`counter` / `gauge` / `histogram`). Histogram
+//!   buckets are sparse: only non-empty buckets appear, keyed by
+//!   bucket index.
+//! - `spans` — drained trace spans in start-time order (wall-clock, so
+//!   durations vary run to run; counters never do).
+
+use crate::json::Json;
+use crate::registry::{MetricValue, Snapshot};
+use crate::trace::Span;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Metadata identifying the run that produced a report.
+#[derive(Debug, Clone, Default)]
+pub struct ReportMeta {
+    /// Producing binary, e.g. `"repro"`.
+    pub tool: String,
+    /// Crate version of the producing binary.
+    pub version: String,
+    /// Base RNG seed of the run.
+    pub seed: u64,
+    /// Scale label, e.g. `"quick"` or `"full"`.
+    pub scale: String,
+    /// Worker count used for sweeps.
+    pub jobs: usize,
+    /// Experiments that ran, in execution order.
+    pub experiments: Vec<String>,
+}
+
+/// A run report ready to serialize.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Run metadata.
+    pub meta: ReportMeta,
+    /// Registry snapshot taken at the end of the run.
+    pub snapshot: Snapshot,
+    /// Trace spans drained at the end of the run.
+    pub spans: Vec<Span>,
+}
+
+impl Report {
+    /// Serializes the report to the v1 JSON schema.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let timestamp = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        let meta = Json::obj()
+            .with("tool", Json::Str(self.meta.tool.clone()))
+            .with("version", Json::Str(self.meta.version.clone()))
+            .with("seed", Json::UInt(self.meta.seed))
+            .with("scale", Json::Str(self.meta.scale.clone()))
+            .with("jobs", Json::UInt(self.meta.jobs as u64))
+            .with(
+                "experiments",
+                Json::Arr(self.meta.experiments.iter().map(|e| Json::Str(e.clone())).collect()),
+            )
+            .with("generated_unix_s", Json::UInt(timestamp));
+
+        let mut metrics = Json::obj();
+        for (name, value) in &self.snapshot.metrics {
+            metrics = metrics.with(name, metric_to_json(value));
+        }
+
+        let spans = Json::Arr(
+            self.spans
+                .iter()
+                .map(|s| {
+                    Json::obj()
+                        .with("name", Json::Str(s.name.to_owned()))
+                        .with("label", Json::Str(s.label.clone()))
+                        .with("start_us", Json::UInt(s.start_us))
+                        .with("duration_us", Json::UInt(s.duration_us))
+                })
+                .collect(),
+        );
+
+        Json::obj()
+            .with("schema", Json::Str("desc-run-report/v1".to_owned()))
+            .with("meta", meta)
+            .with("metrics", metrics)
+            .with("spans", spans)
+    }
+
+    /// Serializes and writes the report to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    pub fn write_to(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json().to_pretty())
+    }
+}
+
+fn metric_to_json(value: &MetricValue) -> Json {
+    match value {
+        MetricValue::Counter(v) => Json::obj()
+            .with("type", Json::Str("counter".to_owned()))
+            .with("value", Json::UInt(*v)),
+        MetricValue::Gauge(v) => Json::obj()
+            .with("type", Json::Str("gauge".to_owned()))
+            .with("value", Json::UInt(*v)),
+        MetricValue::Histogram { count, sum, buckets } => {
+            let mut sparse = Json::obj();
+            for (i, &n) in buckets.iter().enumerate() {
+                if n != 0 {
+                    sparse = sparse.with(&i.to_string(), Json::UInt(n));
+                }
+            }
+            Json::obj()
+                .with("type", Json::Str("histogram".to_owned()))
+                .with("count", Json::UInt(*count))
+                .with("sum", Json::UInt(*sum))
+                .with(
+                    "mean",
+                    if *count == 0 {
+                        Json::Num(0.0)
+                    } else {
+                        Json::Num(*sum as f64 / *count as f64)
+                    },
+                )
+                .with("buckets", sparse)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn report_has_required_keys_and_round_trips() {
+        let r = Registry::new();
+        r.counter("a.count").add(5);
+        r.histogram("a.lat").record(100);
+        let report = Report {
+            meta: ReportMeta {
+                tool: "test".to_owned(),
+                version: "0.0.0".to_owned(),
+                seed: 2013,
+                scale: "quick".to_owned(),
+                jobs: 4,
+                experiments: vec!["fig16".to_owned()],
+            },
+            snapshot: r.snapshot(),
+            spans: vec![Span { name: "cell", label: "x".to_owned(), start_us: 1, duration_us: 2 }],
+        };
+        let json = report.to_json();
+        for key in ["schema", "meta", "metrics", "spans"] {
+            assert!(json.get(key).is_some(), "missing top-level key {key}");
+        }
+        assert_eq!(json.get("schema").and_then(Json::as_str), Some("desc-run-report/v1"));
+        let text = json.to_pretty();
+        let back = Json::parse(&text).expect("report parses back");
+        let metric = back.get("metrics").and_then(|m| m.get("a.count")).expect("metric present");
+        assert_eq!(metric.get("value").and_then(Json::as_u64), Some(5));
+    }
+}

@@ -1,0 +1,159 @@
+//! Structured event tracing: fixed-capacity per-thread ring buffers of
+//! wall-clock spans, merged and time-sorted at drain.
+//!
+//! A [`span`] is cheap to open (one enabled check; an `Instant::now`
+//! only when telemetry is on) and records itself when the guard drops.
+//! Each thread appends into its own ring buffer — no cross-thread
+//! contention on the hot path — and [`drain_spans`] merges every
+//! thread's buffer into one time-ordered list. When a ring overflows,
+//! the oldest span is dropped and the `telemetry.spans_dropped`
+//! counter incremented, so truncation is visible rather than silent.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Per-thread ring capacity. Sweeps record one span per cell, so this
+/// comfortably covers every figure at full scale.
+const RING_CAPACITY: usize = 4096;
+
+/// One completed span: a named, labelled interval of wall-clock time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Static category, e.g. `"experiment"` or `"cell"`.
+    pub name: &'static str,
+    /// Instance label, e.g. an experiment or cell identifier.
+    pub label: String,
+    /// Microseconds since the process's trace epoch (first telemetry
+    /// use) at which the span started.
+    pub start_us: u64,
+    /// Span duration in microseconds.
+    pub duration_us: u64,
+}
+
+#[derive(Debug, Default)]
+struct Ring {
+    spans: VecDeque<Span>,
+}
+
+impl Ring {
+    fn push(&mut self, span: Span) {
+        if self.spans.len() == RING_CAPACITY {
+            self.spans.pop_front();
+            crate::counter!("telemetry.spans_dropped").incr();
+        }
+        self.spans.push_back(span);
+    }
+}
+
+/// All per-thread rings ever created; drained (not removed) by
+/// [`drain_spans`]. Threads register their ring on first span.
+fn rings() -> &'static Mutex<Vec<Arc<Mutex<Ring>>>> {
+    static RINGS: OnceLock<Mutex<Vec<Arc<Mutex<Ring>>>>> = OnceLock::new();
+    RINGS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+thread_local! {
+    static THREAD_RING: Arc<Mutex<Ring>> = {
+        let ring = Arc::new(Mutex::new(Ring::default()));
+        rings().lock().expect("span ring list poisoned").push(Arc::clone(&ring));
+        ring
+    };
+}
+
+/// Opens a span; it records itself into the current thread's ring
+/// buffer when the returned guard drops. Inert (no clock read, no
+/// allocation retained) when telemetry is disabled.
+#[must_use]
+pub fn span(name: &'static str, label: impl Into<String>) -> SpanGuard {
+    if !crate::enabled() {
+        return SpanGuard { inner: None };
+    }
+    // Touch the epoch before `start` so start_us can never underflow.
+    let _ = epoch();
+    SpanGuard { inner: Some((name, label.into(), Instant::now())) }
+}
+
+/// RAII guard returned by [`span`]; measures until dropped.
+#[derive(Debug)]
+pub struct SpanGuard {
+    inner: Option<(&'static str, String, Instant)>,
+}
+
+impl SpanGuard {
+    /// True when this guard is actually recording (telemetry was
+    /// enabled at open time).
+    #[must_use]
+    pub fn is_recording(&self) -> bool {
+        self.inner.is_some()
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some((name, label, start)) = self.inner.take() {
+            let span = Span {
+                name,
+                label,
+                start_us: start.duration_since(epoch()).as_micros() as u64,
+                duration_us: start.elapsed().as_micros() as u64,
+            };
+            THREAD_RING.with(|ring| {
+                ring.lock().expect("thread span ring poisoned").push(span);
+            });
+        }
+    }
+}
+
+/// Drains every thread's ring buffer into one list sorted by start
+/// time (ties broken by name then label, so ordering is stable).
+#[must_use]
+pub fn drain_spans() -> Vec<Span> {
+    let mut all = Vec::new();
+    for ring in rings().lock().expect("span ring list poisoned").iter() {
+        let mut ring = ring.lock().expect("span ring poisoned");
+        all.extend(ring.spans.drain(..));
+    }
+    all.sort_by(|a, b| {
+        a.start_us
+            .cmp(&b.start_us)
+            .then_with(|| a.name.cmp(b.name))
+            .then_with(|| a.label.cmp(&b.label))
+    });
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_record_and_drain() {
+        crate::set_enabled(true);
+        {
+            let _outer = span("test", "outer");
+            let _inner = span("test", "inner");
+        }
+        let spans = drain_spans();
+        crate::set_enabled(false);
+        let labels: Vec<&str> =
+            spans.iter().filter(|s| s.name == "test").map(|s| s.label.as_str()).collect();
+        assert!(labels.contains(&"outer") && labels.contains(&"inner"));
+        // Drained: a second drain returns nothing for this name.
+        assert!(drain_spans().iter().all(|s| s.name != "test"));
+    }
+
+    #[test]
+    fn disabled_spans_are_inert() {
+        crate::set_enabled(false);
+        let g = span("test-disabled", "x");
+        assert!(!g.is_recording());
+        drop(g);
+        assert!(drain_spans().iter().all(|s| s.name != "test-disabled"));
+    }
+}

@@ -1,0 +1,79 @@
+//! Concurrency and determinism guarantees of the metric registry.
+
+use desc_telemetry::{Registry, HISTOGRAM_BUCKETS};
+
+#[test]
+fn concurrent_counter_increments_are_lossless() {
+    let registry = Registry::new();
+    let counter = registry.counter("test.concurrent");
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 10_000;
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            scope.spawn(|| {
+                for _ in 0..PER_THREAD {
+                    counter.incr();
+                }
+            });
+        }
+    });
+    assert_eq!(counter.get(), THREADS * PER_THREAD);
+}
+
+#[test]
+fn concurrent_histogram_records_are_lossless() {
+    let registry = Registry::new();
+    let hist = registry.histogram("test.hist");
+    const THREADS: u64 = 4;
+    const PER_THREAD: u64 = 5_000;
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let hist = &hist;
+            scope.spawn(move || {
+                for i in 0..PER_THREAD {
+                    hist.record(t * PER_THREAD + i);
+                }
+            });
+        }
+    });
+    assert_eq!(hist.count(), THREADS * PER_THREAD);
+    let total: u64 = hist.buckets().iter().sum();
+    assert_eq!(total, THREADS * PER_THREAD);
+    // Sum of 0..N-1 regardless of interleaving.
+    let n = THREADS * PER_THREAD;
+    assert_eq!(hist.sum(), n * (n - 1) / 2);
+}
+
+#[test]
+fn gauge_max_is_order_independent() {
+    let registry = Registry::new();
+    let gauge = registry.gauge("test.max");
+    std::thread::scope(|scope| {
+        for t in 0..8u64 {
+            let gauge = &gauge;
+            scope.spawn(move || {
+                for v in 0..1000u64 {
+                    gauge.record_max(t * 1000 + v);
+                }
+            });
+        }
+    });
+    assert_eq!(gauge.get(), 7999);
+}
+
+#[test]
+fn snapshot_is_name_sorted_and_complete() {
+    let registry = Registry::new();
+    registry.counter("z.last").incr();
+    registry.counter("a.first").incr();
+    registry.histogram("m.middle").record(1);
+    let snap = registry.snapshot();
+    let names = snap.names();
+    let mut sorted = names.clone();
+    sorted.sort_unstable();
+    assert_eq!(names, sorted);
+    assert_eq!(names.len(), 3);
+    assert!(snap.histogram("m.middle").is_some());
+    let buckets_len = HISTOGRAM_BUCKETS;
+    assert_eq!(buckets_len, 65);
+}

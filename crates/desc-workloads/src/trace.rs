@@ -90,6 +90,9 @@ impl TraceGenerator {
             self.cursors[core] = (self.cursors[core] + 1) % self.total_blocks;
             b * BLOCK
         };
+        if desc_telemetry::enabled() {
+            desc_telemetry::counter!("workloads.accesses_generated").incr();
+        }
         Access { addr, write, core: core as u8 }
     }
 

@@ -130,6 +130,9 @@ impl ValueStream {
         let archetype = self.pick_archetype();
         let block = self.generate(archetype);
         self.previous = block.clone();
+        if desc_telemetry::enabled() {
+            desc_telemetry::counter!("workloads.blocks_generated").incr();
+        }
         block
     }
 
