@@ -8,8 +8,11 @@
 //!
 //! Times `run_app` (one complete simulate-and-price cell, exactly what
 //! every figure sweep executes per cell) for conventional binary and
-//! zero-skipped DESC, and appends simulated-accesses-per-second to
-//! `BENCH_pipeline.json` in the shared history format.
+//! zero-skipped DESC across a sweep of intra-cell shard counts, and
+//! appends simulated-accesses-per-second to `BENCH_pipeline.json` in
+//! the shared history format. Each entry records its `shards` axis so
+//! the history distinguishes serial from bank-sharded throughput;
+//! results are bit-identical across the axis, only wall-clock moves.
 
 use desc_bench::{append_history, best_rate};
 use desc_core::schemes::SchemeKind;
@@ -24,28 +27,32 @@ const REPS: usize = 5;
 
 fn main() {
     let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_pipeline.json".to_owned());
-    let scale = Scale { accesses: ACCESSES, apps: 1, seed: 2013, jobs: 1 };
+    let scale = Scale { accesses: ACCESSES, apps: 1, seed: 2013, jobs: 1, shards: 1 };
     let profile = BenchmarkId::Ocean.profile();
 
     let mut results = Vec::new();
-    println!("{:<24} {:>14} {:>18}", "scheme", "cells/sec", "accesses/sec");
+    println!("{:<24} {:>7} {:>14} {:>18}", "scheme", "shards", "cells/sec", "accesses/sec");
     for (label, kind) in [
         ("conventional_binary", SchemeKind::ConventionalBinary),
         ("zero_skip_desc", SchemeKind::ZeroSkippedDesc),
     ] {
-        // Warmup one cell, then time whole cells.
-        black_box(run_app(kind, &profile, &scale).l2_energy());
-        let cells_per_sec = best_rate(3, REPS, || {
+        for shards in [1usize, 2, 4, 8] {
+            let scale = scale.with_shards(shards);
+            // Warmup one cell, then time whole cells.
             black_box(run_app(kind, &profile, &scale).l2_energy());
-        });
-        let accesses_per_sec = cells_per_sec * ACCESSES as f64;
-        println!("{label:<24} {cells_per_sec:>14.2} {accesses_per_sec:>18.0}");
-        results.push(
-            Json::obj()
-                .with("scheme", Json::Str(label.to_owned()))
-                .with("cells_per_sec", Json::Num((cells_per_sec * 100.0).round() / 100.0))
-                .with("accesses_per_sec", Json::Num(accesses_per_sec.round())),
-        );
+            let cells_per_sec = best_rate(3, REPS, || {
+                black_box(run_app(kind, &profile, &scale).l2_energy());
+            });
+            let accesses_per_sec = cells_per_sec * ACCESSES as f64;
+            println!("{label:<24} {shards:>7} {cells_per_sec:>14.2} {accesses_per_sec:>18.0}");
+            results.push(
+                Json::obj()
+                    .with("scheme", Json::Str(label.to_owned()))
+                    .with("shards", Json::UInt(shards as u64))
+                    .with("cells_per_sec", Json::Num((cells_per_sec * 100.0).round() / 100.0))
+                    .with("accesses_per_sec", Json::Num(accesses_per_sec.round())),
+            );
+        }
     }
 
     let config = Json::obj()

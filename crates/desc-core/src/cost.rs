@@ -35,6 +35,14 @@ pub struct TransferCost {
     pub sync_transitions: u64,
     /// Bus clock cycles the transfer occupies the link.
     pub cycles: u64,
+    /// Effective latency in bus clock cycles before the receiver can
+    /// use the block — the critical-path delay, which for DESC sits at
+    /// the *effective* window position rather than the worst strobe
+    /// (Fig. 21's window interpretation). `0` is a sentinel meaning
+    /// "same as `cycles`"; read through [`TransferCost::latency`]. Only
+    /// latency accounting uses this — occupancy, queueing and energy
+    /// keep using `cycles`.
+    pub latency_cycles: u64,
 }
 
 impl TransferCost {
@@ -44,7 +52,28 @@ impl TransferCost {
         control_transitions: 0,
         sync_transitions: 0,
         cycles: 0,
+        latency_cycles: 0,
     };
+
+    /// Effective receiver latency in cycles.
+    ///
+    /// Falls back to `cycles` (full link occupancy) for schemes that do
+    /// not distinguish the two — all fixed-cycle baselines.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use desc_core::TransferCost;
+    ///
+    /// let fixed = TransferCost { cycles: 4, ..TransferCost::ZERO };
+    /// assert_eq!(fixed.latency(), 4);
+    /// let desc = TransferCost { cycles: 14, latency_cycles: 9, ..TransferCost::ZERO };
+    /// assert_eq!(desc.latency(), 9);
+    /// ```
+    #[must_use]
+    pub fn latency(&self) -> u64 {
+        if self.latency_cycles == 0 { self.cycles } else { self.latency_cycles }
+    }
 
     /// Transitions summed over every wire class.
     #[must_use]
@@ -73,10 +102,20 @@ impl Add for TransferCost {
 
 impl AddAssign for TransferCost {
     fn add_assign(&mut self, rhs: TransferCost) {
+        // Resolve latencies before mutating `cycles` so the sentinel
+        // ("0 means same as cycles") is read against the pre-add state.
+        // The sum stays in sentinel form when both operands are — this
+        // keeps `c + ZERO == c` exact for plain costs.
+        let latency_sum = if self.latency_cycles == 0 && rhs.latency_cycles == 0 {
+            0
+        } else {
+            self.latency() + rhs.latency()
+        };
         self.data_transitions += rhs.data_transitions;
         self.control_transitions += rhs.control_transitions;
         self.sync_transitions += rhs.sync_transitions;
         self.cycles += rhs.cycles;
+        self.latency_cycles = latency_sum;
     }
 }
 
@@ -209,6 +248,18 @@ impl CostSummary {
         }
     }
 
+    /// Mean *effective* receiver latency per block in cycles (see
+    /// [`TransferCost::latency`]); equals [`CostSummary::mean_cycles`]
+    /// for schemes without a distinct effective window.
+    #[must_use]
+    pub fn mean_latency_cycles(&self) -> f64 {
+        if self.blocks == 0 {
+            0.0
+        } else {
+            self.total.latency() as f64 / self.blocks as f64
+        }
+    }
+
     /// Worst-case transfer latency observed.
     #[must_use]
     pub fn max_cycles(&self) -> u64 {
@@ -229,7 +280,13 @@ mod tests {
 
     #[test]
     fn zero_cost_is_identity() {
-        let c = TransferCost { data_transitions: 3, control_transitions: 2, sync_transitions: 1, cycles: 7 };
+        let c = TransferCost {
+            data_transitions: 3,
+            control_transitions: 2,
+            sync_transitions: 1,
+            cycles: 7,
+            latency_cycles: 0,
+        };
         assert_eq!(c + TransferCost::ZERO, c);
         assert_eq!(c.total_transitions(), 6);
     }
@@ -277,6 +334,32 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.blocks(), 2);
         assert_eq!(a.max_cycles(), 9);
+    }
+
+    #[test]
+    fn latency_sentinel_resolves_and_sums() {
+        // Sentinel: 0 reads as `cycles`.
+        let plain = TransferCost { cycles: 7, ..TransferCost::ZERO };
+        assert_eq!(plain.latency(), 7);
+
+        // Adding two sentinel costs stays in sentinel form (ZERO identity).
+        let sum = plain + TransferCost { cycles: 3, ..TransferCost::ZERO };
+        assert_eq!(sum.latency_cycles, 0);
+        assert_eq!(sum.latency(), 10);
+
+        // Mixing sentinel and explicit latencies resolves both sides.
+        let desc = TransferCost { cycles: 14, latency_cycles: 9, ..TransferCost::ZERO };
+        let mixed = plain + desc;
+        assert_eq!(mixed.cycles, 21);
+        assert_eq!(mixed.latency(), 7 + 9);
+        let mixed_rev = desc + plain;
+        assert_eq!(mixed_rev.latency(), 9 + 7);
+
+        let mut s = CostSummary::new();
+        s.record(plain);
+        s.record(desc);
+        assert_eq!(s.mean_cycles(), 10.5);
+        assert_eq!(s.mean_latency_cycles(), 8.0);
     }
 
     #[test]

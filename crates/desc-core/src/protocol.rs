@@ -584,6 +584,7 @@ impl Link {
             data_transitions,
             control_transitions,
             sync_transitions: 0,
+            latency_cycles: 0,
             cycles,
         };
 
@@ -972,6 +973,7 @@ mod tests {
                         data_transitions,
                         control_transitions,
                         sync_transitions: 0,
+                        latency_cycles: 0,
                         cycles,
                     },
                 )

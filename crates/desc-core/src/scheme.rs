@@ -24,7 +24,10 @@ use crate::cost::{TransferCost, WireBudget};
 /// // Re-sending an identical block flips far fewer wires.
 /// assert!(again.data_transitions < first.data_transitions);
 /// ```
-pub trait TransferScheme {
+/// Schemes are `Send` so drivers can replicate one per L2 bank (via
+/// [`TransferScheme::clone_box`]) and simulate the banks on worker
+/// threads; every implementation is plain owned data.
+pub trait TransferScheme: Send {
     /// Human-readable scheme name, matching the paper's figure legends
     /// (e.g. `"Zero Skipped DESC"`).
     fn name(&self) -> &'static str;
@@ -44,6 +47,16 @@ pub trait TransferScheme {
     /// Returns all wires and remembered values to the power-on state
     /// (all zeroes), as at the start of a simulation.
     fn reset(&mut self);
+
+    /// Clones this scheme into a fresh boxed trait object.
+    ///
+    /// Bank-sharded simulation gives every L2 bank its own channel (and
+    /// therefore its own wire state); drivers that accept a
+    /// `Box<dyn TransferScheme>` use this to replicate the configured
+    /// scheme once per bank. Replicas carry the source's configuration
+    /// *and* current wire state — call [`TransferScheme::reset`] on the
+    /// clone for a power-on copy.
+    fn clone_box(&self) -> Box<dyn TransferScheme>;
 }
 
 /// Blanket impl so `Box<dyn TransferScheme>` and `&mut S` both work in
@@ -64,6 +77,10 @@ impl<S: TransferScheme + ?Sized> TransferScheme for Box<S> {
     fn reset(&mut self) {
         (**self).reset()
     }
+
+    fn clone_box(&self) -> Box<dyn TransferScheme> {
+        (**self).clone_box()
+    }
 }
 
 impl<S: TransferScheme + ?Sized> TransferScheme for &mut S {
@@ -81,6 +98,10 @@ impl<S: TransferScheme + ?Sized> TransferScheme for &mut S {
 
     fn reset(&mut self) {
         (**self).reset()
+    }
+
+    fn clone_box(&self) -> Box<dyn TransferScheme> {
+        (**self).clone_box()
     }
 }
 
@@ -103,5 +124,23 @@ mod tests {
         let mut concrete = BinaryScheme::new(8);
         let via_ref: &mut dyn TransferScheme = &mut concrete;
         assert_eq!(via_ref.wires().data_wires, 8);
+    }
+
+    #[test]
+    fn clone_box_replicates_configuration_and_state() {
+        let mut original: Box<dyn TransferScheme> = Box::new(BinaryScheme::new(8));
+        let block = Block::from_bytes(&[0x5A; 8]);
+        let first = original.transfer(&block);
+
+        // A clone carries the mutated wire state: re-sending the same
+        // block is cheap on both.
+        let mut copy = original.clone_box();
+        assert_eq!(copy.name(), original.name());
+        assert_eq!(copy.wires(), original.wires());
+        assert_eq!(copy.transfer(&block), original.transfer(&block));
+
+        // After reset the clone behaves like a power-on instance.
+        copy.reset();
+        assert_eq!(copy.transfer(&block), first);
     }
 }

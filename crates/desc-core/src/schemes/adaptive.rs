@@ -143,6 +143,8 @@ impl TransferScheme for AdaptiveDescScheme {
             self.reset_skip.toggle();
             cost.control_transitions += 1;
             let mut max_pos = 0u64;
+            let mut pos_sum = 0u64;
+            let mut strobed = 0u64;
             let mut any_skipped = false;
             for w in 0..self.data.len() {
                 let Some(i) = assignment.chunk_at(w, r) else { continue };
@@ -153,11 +155,23 @@ impl TransferScheme for AdaptiveDescScheme {
                 } else {
                     self.data[w].toggle();
                     cost.data_transitions += 1;
-                    max_pos = max_pos.max(Self::position(v, skip));
+                    strobed += 1;
+                    let pos = Self::position(v, skip);
+                    pos_sum += pos;
+                    max_pos = max_pos.max(pos);
                 }
                 self.tables[w].record(v);
             }
-            cost.cycles += max_pos.max(1);
+            let window = max_pos.max(1);
+            cost.cycles += window;
+            // Same effective-window latency model as `DescScheme`
+            // (midpoint of mean and max strobe position; see
+            // `transfer_skipped` there for the rationale).
+            cost.latency_cycles += if strobed == 0 {
+                1
+            } else {
+                (pos_sum.div_ceil(strobed) + window).div_ceil(2)
+            };
             last_round_skipped = any_skipped;
         }
         if last_round_skipped {
@@ -181,6 +195,10 @@ impl TransferScheme for AdaptiveDescScheme {
         self.tables = (0..wires)
             .map(|_| FrequencyTable::new(self.chunk_size.value_count() as usize, 64))
             .collect();
+    }
+
+    fn clone_box(&self) -> Box<dyn TransferScheme> {
+        Box::new(self.clone())
     }
 }
 

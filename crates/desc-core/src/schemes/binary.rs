@@ -86,12 +86,17 @@ impl TransferScheme for BinaryScheme {
             data_transitions: flips,
             control_transitions: 0,
             sync_transitions: 0,
+            latency_cycles: 0,
             cycles: beats as u64,
         }
     }
 
     fn reset(&mut self) {
         self.wires = vec![Wire::new(); self.wires.len()];
+    }
+
+    fn clone_box(&self) -> Box<dyn TransferScheme> {
+        Box::new(self.clone())
     }
 }
 

@@ -172,6 +172,7 @@ impl TransferScheme for BusInvertScheme {
             data_transitions: data,
             control_transitions: control,
             sync_transitions: 0,
+            latency_cycles: 0,
             cycles: beats as u64,
         }
     }
@@ -179,6 +180,10 @@ impl TransferScheme for BusInvertScheme {
     fn reset(&mut self) {
         self.bus.reset();
         self.invert = vec![Wire::new(); self.invert.len()];
+    }
+
+    fn clone_box(&self) -> Box<dyn TransferScheme> {
+        Box::new(self.clone())
     }
 }
 
@@ -288,6 +293,7 @@ impl TransferScheme for ZeroSkipBusInvertScheme {
             data_transitions: data,
             control_transitions: control,
             sync_transitions: 0,
+            latency_cycles: 0,
             cycles: beats as u64,
         }
     }
@@ -297,6 +303,10 @@ impl TransferScheme for ZeroSkipBusInvertScheme {
         let n = self.invert.len();
         self.invert = vec![Wire::new(); n];
         self.skip = vec![Wire::new(); n];
+    }
+
+    fn clone_box(&self) -> Box<dyn TransferScheme> {
+        Box::new(self.clone())
     }
 }
 
@@ -392,6 +402,7 @@ impl TransferScheme for EncodedZeroSkipBusInvertScheme {
             data_transitions: data,
             control_transitions: control,
             sync_transitions: 0,
+            latency_cycles: 0,
             cycles: beats as u64,
         }
     }
@@ -399,6 +410,10 @@ impl TransferScheme for EncodedZeroSkipBusInvertScheme {
     fn reset(&mut self) {
         self.bus.reset();
         self.mode_bus = Bus::new(self.mode_bus.width());
+    }
+
+    fn clone_box(&self) -> Box<dyn TransferScheme> {
+        Box::new(self.clone())
     }
 }
 

@@ -119,6 +119,7 @@ impl TransferScheme for DzcScheme {
             data_transitions: data,
             control_transitions: control,
             sync_transitions: 0,
+            latency_cycles: 0,
             cycles: beats as u64,
         }
     }
@@ -127,6 +128,10 @@ impl TransferScheme for DzcScheme {
         let n = self.segments.len();
         self.segments = vec![Bus::new(self.segment_bits); n];
         self.indicators = vec![Wire::new(); n];
+    }
+
+    fn clone_box(&self) -> Box<dyn TransferScheme> {
+        Box::new(self.clone())
     }
 }
 

@@ -54,12 +54,17 @@ impl TransferScheme for SerialScheme {
             data_transitions: flips,
             control_transitions: 0,
             sync_transitions: 0,
+            latency_cycles: 0,
             cycles: block.bit_len() as u64,
         }
     }
 
     fn reset(&mut self) {
         self.wire = Wire::new();
+    }
+
+    fn clone_box(&self) -> Box<dyn TransferScheme> {
+        Box::new(self.clone())
     }
 }
 

@@ -92,7 +92,7 @@ impl<S: TransferScheme> SecdedScheme<S> {
     }
 }
 
-impl<S: TransferScheme> TransferScheme for SecdedScheme<S> {
+impl<S: TransferScheme + Clone + 'static> TransferScheme for SecdedScheme<S> {
     fn name(&self) -> &'static str {
         // Static names keep the trait simple; the wires()/cost tell the
         // rest. Distinguish DESC for the simulator's interface-delay
@@ -116,6 +116,10 @@ impl<S: TransferScheme> TransferScheme for SecdedScheme<S> {
 
     fn reset(&mut self) {
         self.inner.reset();
+    }
+
+    fn clone_box(&self) -> Box<dyn TransferScheme> {
+        Box::new(self.clone())
     }
 }
 

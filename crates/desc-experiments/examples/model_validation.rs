@@ -12,7 +12,7 @@ use desc_experiments::common::{run_app, Scale};
 use desc_workloads::parallel_suite;
 
 fn main() {
-    let scale = Scale { accesses: 15_000, apps: 16, seed: 2013, jobs: 1 };
+    let scale = Scale { accesses: 15_000, apps: 16, seed: 2013, jobs: 1, shards: 1 };
     println!(
         "{:<16} {:>6} {:>12} {:>12} {:>12} {:>10}",
         "app", "miss", "static frac", "htree frac", "flips/block", "exec (us)"

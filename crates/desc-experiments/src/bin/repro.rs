@@ -61,6 +61,13 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--shards" => match iter.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) if n > 0 => scale.shards = n,
+                _ => {
+                    eprintln!("--shards needs a positive integer argument");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--report" => match iter.next() {
                 Some(path) if !path.is_empty() => {
                     report_path = Some(std::path::PathBuf::from(path));
@@ -79,9 +86,11 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--quick|--tiny] [--csv] [--seed N] [--accesses N] [--apps N] \
-                     [--jobs N] [--report PATH] <experiment...|all>\n\
+                     [--jobs N] [--shards N] [--report PATH] <experiment...|all>\n\
                      --jobs N      spread (app x scheme) sweeps over N threads; results are\n\
                      bit-identical for any N (default: all hardware threads)\n\
+                     --shards N    simulate each cell's L2 banks on N threads; results are\n\
+                     bit-identical for any N (default: 1)\n\
                      --report PATH enable telemetry and write a machine-readable JSON run\n\
                      report (counters, histograms, spans); defaults to all experiments\n\
                      experiments: {}",
@@ -138,6 +147,7 @@ fn main() -> ExitCode {
                 seed: scale.seed,
                 scale: scale_label.to_owned(),
                 jobs: scale.jobs,
+                shards: scale.shards,
                 experiments: names.clone(),
             },
             snapshot: desc_telemetry::global().snapshot(),

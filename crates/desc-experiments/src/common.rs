@@ -23,31 +23,45 @@ pub struct Scale {
     /// seeded independently from `seed`, so results are bit-identical
     /// for any job count; `1` runs serially. `0` is treated as `1`.
     pub jobs: usize,
+    /// Worker threads *inside* each simulation cell (bank-sharded
+    /// execution; see [`desc_sim::SimConfig::shards`]). The decomposition
+    /// unit is the L2 bank, fixed by the machine config, so results are
+    /// bit-identical for any shard count; `0`/`1` run each cell
+    /// serially. Composes with `jobs`: a sweep may run `jobs × shards`
+    /// threads at peak.
+    pub shards: usize,
 }
 
 impl Scale {
     /// Full reproduction scale (all apps, 20 000 accesses each).
     #[must_use]
     pub fn full() -> Self {
-        Self { accesses: 20_000, apps: 16, seed: 2013, jobs: 1 }
+        Self { accesses: 20_000, apps: 16, seed: 2013, jobs: 1, shards: 1 }
     }
 
     /// Reduced scale for interactive runs and benches.
     #[must_use]
     pub fn quick() -> Self {
-        Self { accesses: 4_000, apps: 4, seed: 2013, jobs: 1 }
+        Self { accesses: 4_000, apps: 4, seed: 2013, jobs: 1, shards: 1 }
     }
 
     /// Minimal scale for unit tests.
     #[must_use]
     pub fn tiny() -> Self {
-        Self { accesses: 800, apps: 2, seed: 2013, jobs: 1 }
+        Self { accesses: 800, apps: 2, seed: 2013, jobs: 1, shards: 1 }
     }
 
     /// Returns this scale with `jobs` worker threads for sweeps.
     #[must_use]
     pub fn with_jobs(mut self, jobs: usize) -> Self {
         self.jobs = jobs;
+        self
+    }
+
+    /// Returns this scale with `shards` intra-cell worker threads.
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
         self
     }
 
@@ -118,6 +132,7 @@ pub fn run_custom(
     static_overhead: f64,
 ) -> AppRun {
     config.l2.bus_width_bits = scheme.wires().total();
+    config.shards = scale.shards.max(1);
     let sim = SystemSim::new(config, *profile, scale.seed);
     let result = sim.run(scheme, scale.accesses);
     let model = CacheModel::new(config.l2);

@@ -185,7 +185,7 @@ mod tests {
     use super::*;
 
     fn scale() -> Scale {
-        Scale { accesses: 1_500, apps: 2, seed: 1, jobs: 1 }
+        Scale { accesses: 1_500, apps: 2, seed: 1, jobs: 1, shards: 1 }
     }
 
     #[test]

@@ -30,7 +30,7 @@ mod tests {
 
     #[test]
     fn fractions_are_sane_and_near_paper() {
-        let t = run(&Scale { accesses: 2_000, apps: 4, seed: 1, jobs: 1 });
+        let t = run(&Scale { accesses: 2_000, apps: 4, seed: 1, jobs: 1, shards: 1 });
         assert_eq!(t.row_count(), 5);
         let geo: f64 = t.cell(4, 1).expect("geomean row").parse().expect("number");
         assert!((0.05..=0.35).contains(&geo), "L2 fraction geomean {geo}");

@@ -46,7 +46,7 @@ mod tests {
 
     #[test]
     fn htree_dominates() {
-        let t = run(&Scale { accesses: 2_000, apps: 3, seed: 1, jobs: 1 });
+        let t = run(&Scale { accesses: 2_000, apps: 3, seed: 1, jobs: 1, shards: 1 });
         let last = t.row_count() - 1;
         let htree: f64 = t.cell(last, 3).expect("avg").parse().expect("number");
         assert!((0.6..=0.92).contains(&htree), "H-tree share {htree}");

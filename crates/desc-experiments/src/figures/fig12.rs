@@ -37,7 +37,7 @@ mod tests {
 
     #[test]
     fn zero_bin_dominates() {
-        let t = run(&Scale { accesses: 2_000, apps: 6, seed: 1, jobs: 1 });
+        let t = run(&Scale { accesses: 2_000, apps: 6, seed: 1, jobs: 1, shards: 1 });
         assert_eq!(t.row_count(), 16);
         let zero: f64 = t.cell(0, 1).expect("zero bin").parse().expect("number");
         assert!((0.2..=0.45).contains(&zero), "zero frequency {zero}");

@@ -34,7 +34,7 @@ mod tests {
 
     #[test]
     fn geomean_is_in_band() {
-        let t = run(&Scale { accesses: 2_000, apps: 8, seed: 1, jobs: 1 });
+        let t = run(&Scale { accesses: 2_000, apps: 8, seed: 1, jobs: 1, shards: 1 });
         let last = t.row_count() - 1;
         let g: f64 = t.cell(last, 1).expect("geomean").parse().expect("number");
         assert!((0.25..=0.55).contains(&g), "repeat geomean {g}");

@@ -67,7 +67,7 @@ mod tests {
 
     #[test]
     fn lstp_lstp_is_the_energy_minimum() {
-        let t = run(&Scale { accesses: 1_500, apps: 2, seed: 1, jobs: 1 });
+        let t = run(&Scale { accesses: 1_500, apps: 2, seed: 1, jobs: 1, shards: 1 });
         assert_eq!(t.row_count(), 9);
         // Find rows; LSTP-LSTP is last (ALL order: HP, LOP, LSTP).
         let last = t.row_count() - 1;

@@ -70,7 +70,7 @@ mod tests {
 
     #[test]
     fn all_baselines_beat_or_match_binary_at_some_segment() {
-        let t = run(&Scale { accesses: 1_500, apps: 2, seed: 1, jobs: 1 });
+        let t = run(&Scale { accesses: 1_500, apps: 2, seed: 1, jobs: 1, shards: 1 });
         assert_eq!(t.row_count(), 4);
         for row in 0..4 {
             let best = (1..=5)

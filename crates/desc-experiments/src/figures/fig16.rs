@@ -81,7 +81,7 @@ mod tests {
     #[test]
     fn headline_orderings_hold() {
         let geo: std::collections::HashMap<_, _> =
-            scheme_geomeans(&Scale { accesses: 2_500, apps: 3, seed: 1, jobs: 2 })
+            scheme_geomeans(&Scale { accesses: 2_500, apps: 3, seed: 1, jobs: 2, shards: 1 })
                 .into_iter()
                 .collect();
         let g = |k: SchemeKind| geo[&k];

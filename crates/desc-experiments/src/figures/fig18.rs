@@ -47,7 +47,7 @@ mod tests {
 
     #[test]
     fn desc_halves_dynamic_with_small_static_overhead() {
-        let t = run(&Scale { accesses: 2_500, apps: 3, seed: 1, jobs: 1 });
+        let t = run(&Scale { accesses: 2_500, apps: 3, seed: 1, jobs: 1, shards: 1 });
         // Rows follow SchemeKind::ALL: binary first, zero-skip DESC 7th.
         let bin_dyn: f64 = t.cell(0, 2).expect("dyn").parse().expect("number");
         let bin_static: f64 = t.cell(0, 1).expect("static").parse().expect("number");

@@ -41,7 +41,7 @@ mod tests {
 
     #[test]
     fn processor_savings_in_paper_band() {
-        let t = run(&Scale { accesses: 2_500, apps: 3, seed: 1, jobs: 1 });
+        let t = run(&Scale { accesses: 2_500, apps: 3, seed: 1, jobs: 1, shards: 1 });
         let last = t.row_count() - 1;
         let total: f64 = t.cell(last, 3).expect("geomean").parse().expect("number");
         assert!((0.85..=0.99).contains(&total), "normalised processor energy {total}");

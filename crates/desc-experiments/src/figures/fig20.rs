@@ -37,7 +37,7 @@ mod tests {
 
     #[test]
     fn overheads_are_small() {
-        let t = run(&Scale { accesses: 2_500, apps: 3, seed: 1, jobs: 2 });
+        let t = run(&Scale { accesses: 2_500, apps: 3, seed: 1, jobs: 2, shards: 1 });
         for row in 0..t.row_count() {
             let ratio: f64 = t.cell(row, 1).expect("ratio").parse().expect("number");
             assert!(

@@ -56,7 +56,7 @@ mod tests {
 
     #[test]
     fn latency_gaps_follow_the_paper_shape() {
-        let t = run(&Scale { accesses: 2_000, apps: 3, seed: 1, jobs: 2 });
+        let t = run(&Scale { accesses: 2_000, apps: 3, seed: 1, jobs: 2, shards: 1 });
         let last = t.row_count() - 1;
         let get = |c: usize| -> f64 { t.cell(last, c).expect("avg").parse().expect("number") };
         let (b64, b128, d64, d128) = (get(1), get(2), get(3), get(4));

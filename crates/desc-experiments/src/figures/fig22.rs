@@ -80,7 +80,7 @@ mod tests {
 
     #[test]
     fn desc_frontier_dominates_on_energy() {
-        let scale = Scale { accesses: 1_200, apps: 2, seed: 1, jobs: 1 };
+        let scale = Scale { accesses: 1_200, apps: 2, seed: 1, jobs: 1, shards: 1 };
         let t = run(&scale);
         assert_eq!(t.row_count(), 2 * POINTS.len());
         // Best DESC energy beats best binary energy.

@@ -37,7 +37,7 @@ mod tests {
 
     #[test]
     fn penalty_is_small() {
-        let t = run(&Scale { accesses: 2_000, apps: 3, seed: 1, jobs: 1 });
+        let t = run(&Scale { accesses: 2_000, apps: 3, seed: 1, jobs: 1, shards: 1 });
         let last = t.row_count() - 1;
         let g: f64 = t.cell(last, 1).expect("geomean").parse().expect("number");
         assert!((0.98..=1.06).contains(&g), "S-NUCA execution ratio {g}");

@@ -50,7 +50,7 @@ mod tests {
 
     #[test]
     fn one_bank_is_slow_and_many_banks_cost_energy() {
-        let t = run(&Scale { accesses: 2_000, apps: 2, seed: 1, jobs: 1 });
+        let t = run(&Scale { accesses: 2_000, apps: 2, seed: 1, jobs: 1, shards: 1 });
         let time = |row: usize| -> f64 { t.cell(row, 2).expect("t").parse().expect("num") };
         let energy = |row: usize| -> f64 { t.cell(row, 1).expect("e").parse().expect("num") };
         // Row order follows BANKS.

@@ -73,7 +73,7 @@ mod tests {
 
     #[test]
     fn four_bit_chunks_beat_one_bit_on_energy_and_eight_bit_on_time() {
-        let t = run(&Scale { accesses: 1_200, apps: 2, seed: 1, jobs: 1 });
+        let t = run(&Scale { accesses: 1_200, apps: 2, seed: 1, jobs: 1, shards: 1 });
         // Index rows: bits-major then wires; 128 wires is column 2.
         let row = |bits_i: usize, wires_i: usize| bits_i * WIRES.len() + wires_i;
         let energy = |r: usize| -> f64 { t.cell(r, 2).expect("e").parse().expect("num") };

@@ -69,7 +69,7 @@ mod tests {
 
     #[test]
     fn desc_improves_at_every_capacity() {
-        let t = run(&Scale { accesses: 1_200, apps: 2, seed: 1, jobs: 1 });
+        let t = run(&Scale { accesses: 1_200, apps: 2, seed: 1, jobs: 1, shards: 1 });
         assert_eq!(t.row_count(), CAPACITIES.len());
         for row in 0..t.row_count() {
             let bin: f64 = t.cell(row, 1).expect("bin").parse().expect("num");

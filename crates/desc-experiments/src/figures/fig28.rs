@@ -104,7 +104,7 @@ mod tests {
 
     #[test]
     fn desc_under_ecc_stays_close_to_binary() {
-        let t = run(&Scale { accesses: 1_500, apps: 2, seed: 1, jobs: 1 });
+        let t = run(&Scale { accesses: 1_500, apps: 2, seed: 1, jobs: 1, shards: 1 });
         let last = t.row_count() - 1;
         for col in 1..=4 {
             let g: f64 = t.cell(last, col).expect("geomean").parse().expect("num");

@@ -40,7 +40,7 @@ mod tests {
 
     #[test]
     fn desc_saves_energy_under_ecc() {
-        let t = run(&Scale { accesses: 1_500, apps: 2, seed: 1, jobs: 1 });
+        let t = run(&Scale { accesses: 1_500, apps: 2, seed: 1, jobs: 1, shards: 1 });
         let last = t.row_count() - 1;
         let desc64: f64 = t.cell(last, 3).expect("128-64").parse().expect("num");
         let desc128: f64 = t.cell(last, 4).expect("128-128").parse().expect("num");

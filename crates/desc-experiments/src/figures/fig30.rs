@@ -40,7 +40,7 @@ mod tests {
 
     #[test]
     fn ooo_slowdown_is_visible_but_bounded() {
-        let t = run(&Scale { accesses: 2_500, apps: 4, seed: 1, jobs: 1 });
+        let t = run(&Scale { accesses: 2_500, apps: 4, seed: 1, jobs: 1, shards: 1 });
         let last = t.row_count() - 1;
         let g: f64 = t.cell(last, 1).expect("geomean").parse().expect("num");
         assert!((1.0..=1.15).contains(&g), "OoO slowdown {g}, paper ≈1.06");

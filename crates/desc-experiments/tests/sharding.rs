@@ -1,0 +1,58 @@
+//! Bank-sharding acceptance tests: figure output must be
+//! byte-identical and `desc-run-report/v1` metrics identical for any
+//! `--shards` count at a fixed seed, because the decomposition unit is
+//! the L2 bank (fixed by the machine config), not the thread count.
+//!
+//! The telemetry flag and registry are process-global, so everything
+//! lives in one `#[test]` to keep toggles serialized.
+
+use desc_experiments::{run_experiment, Scale};
+use desc_telemetry::{Report, ReportMeta};
+
+fn report_for(shards: usize, scale: &Scale) -> (String, String) {
+    desc_telemetry::global().reset_all();
+    let rendered = run_experiment("fig16", &scale.with_shards(shards)).render();
+    let _ = desc_telemetry::drain_spans();
+    let report = Report {
+        meta: ReportMeta {
+            tool: "test".to_owned(),
+            version: "0.0.0".to_owned(),
+            seed: scale.seed,
+            scale: "tiny".to_owned(),
+            jobs: scale.jobs,
+            shards,
+            experiments: vec!["fig16".to_owned()],
+        },
+        snapshot: desc_telemetry::global().snapshot(),
+        spans: Vec::new(),
+    };
+    // Metrics only: `meta` records the shard count itself (and a
+    // timestamp), which legitimately differs between runs.
+    let json = report.to_json();
+    let metrics = json.get("metrics").expect("report has metrics").to_pretty();
+    (rendered, metrics)
+}
+
+#[test]
+fn figure_bytes_and_report_metrics_are_shard_invariant() {
+    let scale = Scale::tiny();
+    desc_telemetry::set_enabled(true);
+    let (serial_render, serial_metrics) = report_for(1, &scale);
+    assert!(
+        serial_metrics.contains("sim.l2.accesses"),
+        "baseline report recorded no simulator metrics"
+    );
+    for shards in [2, 8] {
+        let (render, metrics) = report_for(shards, &scale);
+        assert_eq!(
+            serial_render, render,
+            "fig16 output diverged at --shards {shards}"
+        );
+        assert_eq!(
+            serial_metrics, metrics,
+            "run-report metrics diverged at --shards {shards}"
+        );
+    }
+    desc_telemetry::set_enabled(false);
+    desc_telemetry::global().reset_all();
+}

@@ -72,8 +72,16 @@ impl BankScheduler {
     /// Maps a block address to its bank (block-interleaved).
     #[must_use]
     pub fn bank_of(&self, addr: u64, block_bytes: u64) -> usize {
-        ((addr / block_bytes) % self.free_at.len() as u64) as usize
+        home_bank(addr, block_bytes, self.free_at.len())
     }
+}
+
+/// Maps a block address to its home bank (block-interleaved), without
+/// needing a scheduler instance — the S-NUCA mapping shared by the
+/// scheduler, the S-NUCA model, and bank-sharded trace partitioning.
+#[must_use]
+pub fn home_bank(addr: u64, block_bytes: u64, banks: usize) -> usize {
+    ((addr / block_bytes) % banks as u64) as usize
 }
 
 #[cfg(test)]

@@ -53,7 +53,16 @@ pub struct SetAssocCache {
     sets: Vec<Vec<Line>>,
     block_bytes: u64,
     set_shift: u32,
+    /// Mask over the *global* set index (full-cache set count − 1),
+    /// even for a bank slice.
     set_mask: u64,
+    /// log2 of the global set count — where the tag begins.
+    tag_shift: u32,
+    /// log2 of the bank count for a bank slice (0 for a full cache):
+    /// with block-interleaved banking the low `slice_shift` bits of the
+    /// global set index equal the bank id, so shifting them out yields
+    /// the local set index.
+    slice_shift: u32,
     clock: u64,
     invalidations: u64,
 }
@@ -79,8 +88,47 @@ impl SetAssocCache {
             block_bytes: block_bytes as u64,
             set_shift: block_bytes.trailing_zeros(),
             set_mask: (set_count - 1) as u64,
+            tag_shift: set_count.trailing_zeros(),
+            slice_shift: 0,
             clock: 0,
             invalidations: 0,
+        }
+    }
+
+    /// Creates the directory slice owned by one bank of a
+    /// block-interleaved banked cache.
+    ///
+    /// With `bank_of(addr) = block % banks` and `set = block % sets`,
+    /// any power-of-two `banks ≤ sets` makes the bank id exactly the
+    /// low bits of the set index, so the cache's sets partition cleanly
+    /// across banks: this slice holds the `sets / banks` sets whose
+    /// index is ≡ `bank (mod banks)` and sees exactly the accesses the
+    /// full cache would route to them. Simulating every bank's slice
+    /// independently therefore reproduces the full cache's hit/miss/
+    /// victim decisions — the basis of bank-sharded simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate geometry (see [`SetAssocCache::new`]), if
+    /// `banks` is not a power of two, if `banks` exceeds the set count,
+    /// or if `bank >= banks`.
+    #[must_use]
+    pub fn bank_slice(
+        capacity_bytes: usize,
+        block_bytes: usize,
+        ways: usize,
+        banks: usize,
+        bank: usize,
+    ) -> Self {
+        let full = Self::new(capacity_bytes, block_bytes, ways);
+        let set_count = full.sets.len();
+        assert!(banks.is_power_of_two(), "bank count {banks} must be a power of two");
+        assert!(banks <= set_count, "bank count {banks} exceeds set count {set_count}");
+        assert!(bank < banks, "bank {bank} out of range");
+        Self {
+            sets: vec![vec![Line::default(); ways]; set_count / banks],
+            slice_shift: banks.trailing_zeros(),
+            ..full
         }
     }
 
@@ -95,8 +143,8 @@ impl SetAssocCache {
     pub fn access(&mut self, addr: u64, write: bool, core: u8) -> CacheOutcome {
         self.clock += 1;
         let block = addr >> self.set_shift;
-        let set_index = (block & self.set_mask) as usize;
-        let tag = block >> self.sets.len().trailing_zeros();
+        let set_index = ((block & self.set_mask) >> self.slice_shift) as usize;
+        let tag = block >> self.tag_shift;
         let set = &mut self.sets[set_index];
 
         if let Some(line) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
@@ -229,5 +277,40 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn non_power_of_two_sets_rejected() {
         let _ = SetAssocCache::new(3 * 64 * 4, 64, 4);
+    }
+
+    #[test]
+    fn bank_slices_reproduce_the_full_cache_exactly() {
+        // Drive a mixed read/write stream through the full cache and
+        // through per-bank slices; every outcome must match and the
+        // invalidation counts must sum. This is the exactness argument
+        // behind bank-sharded simulation: sets partition by bank, and
+        // LRU stamps only ever compare within one set.
+        let (capacity, block, ways, banks) = (16 << 10, 64, 4, 4);
+        let mut full = SetAssocCache::new(capacity, block, ways);
+        let mut slices: Vec<SetAssocCache> = (0..banks)
+            .map(|b| SetAssocCache::bank_slice(capacity, block, ways, banks, b))
+            .collect();
+
+        let mut state = 42u64;
+        for i in 0..20_000u64 {
+            // Cheap LCG over a footprint 4× the capacity.
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let addr = (state >> 16) % (4 * capacity as u64);
+            let write = state.is_multiple_of(3);
+            let core = (state % 4) as u8;
+            let bank = ((addr / block as u64) % banks as u64) as usize;
+            let expect = full.access(addr, write, core);
+            let got = slices[bank].access(addr, write, core);
+            assert_eq!(got, expect, "access {i} addr {addr:#x} bank {bank}");
+        }
+        let sliced: u64 = slices.iter().map(SetAssocCache::invalidations).sum();
+        assert_eq!(sliced, full.invalidations());
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bank_slice_rejects_non_power_of_two_banks() {
+        let _ = SetAssocCache::bank_slice(8 << 20, 64, 16, 3, 0);
     }
 }

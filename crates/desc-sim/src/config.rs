@@ -75,6 +75,24 @@ pub struct SimConfig {
     /// subbanks to keep the controller's last-value table coherent
     /// (§5.2). 0.0 for every other scheme.
     pub last_value_write_penalty: f64,
+    /// Worker threads simulating one cell's L2 bank partitions (the
+    /// intra-cell shard knob, `repro --shards`).
+    ///
+    /// The simulation always decomposes a cell by home bank and merges
+    /// per-bank results with a deterministic, order-independent
+    /// reduction, so every result is **bit-identical for any value** —
+    /// this knob only controls how many OS threads carry the bank
+    /// partitions. 1 (the default) runs them serially on the calling
+    /// thread.
+    pub shards: usize,
+    /// Epoch length in cycles for the epoch-barrier reduction of
+    /// cross-bank DRAM traffic: bank partitions advance independently
+    /// within an epoch and their DRAM requests are exchanged and
+    /// ordered `(epoch, program-order)` at epoch boundaries. Smaller
+    /// epochs order DRAM contention closer to pure program order;
+    /// larger epochs weight issue-time order more. Does not affect
+    /// shard-count invariance.
+    pub dram_epoch_cycles: u64,
 }
 
 impl SimConfig {
@@ -90,6 +108,8 @@ impl SimConfig {
             dram_occupancy_cycles: 24,
             desc_interface_cycles: 2,
             last_value_write_penalty: 0.5,
+            shards: 1,
+            dram_epoch_cycles: 2048,
         }
     }
 

@@ -38,6 +38,7 @@ pub mod coherence;
 pub mod config;
 pub mod dram;
 pub mod hierarchy;
+mod shard;
 pub mod snuca;
 pub mod system;
 

@@ -1,0 +1,68 @@
+//! Worker-pool plumbing for bank-sharded simulation.
+//!
+//! One simulation cell decomposes into independent bank partitions
+//! (see [`crate::system::SystemSim`]); this module runs the partition
+//! closures on up to `threads` scoped worker threads and returns the
+//! results **in partition order**, so callers can merge them with a
+//! deterministic reduction. With `threads <= 1` the partitions run
+//! serially on the calling thread — no pool, no synchronisation.
+//!
+//! The partition function is pure with respect to ordering (each
+//! partition touches only its own state), so results are bit-identical
+//! for any thread count; the pool only changes wall-clock time.
+
+/// Runs `part_fn(0..parts)` on up to `threads` worker threads and
+/// returns the results indexed by partition.
+///
+/// Work is handed out through an atomic counter, so an arbitrary
+/// worker may run an arbitrary partition; determinism comes from each
+/// result landing in its partition's slot regardless of which worker
+/// produced it.
+pub(crate) fn run_parts<T, F>(parts: usize, threads: usize, part_fn: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.max(1).min(parts.max(1));
+    if threads <= 1 {
+        return (0..parts).map(part_fn).collect();
+    }
+    let mut slots: Vec<Option<T>> = Vec::new();
+    slots.resize_with(parts, || None);
+    {
+        let slot_refs: Vec<std::sync::Mutex<&mut Option<T>>> =
+            slots.iter_mut().map(std::sync::Mutex::new).collect();
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| loop {
+                    let p = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if p >= parts {
+                        break;
+                    }
+                    let out = part_fn(p);
+                    **slot_refs[p].lock().expect("worker panicked") = Some(out);
+                });
+            }
+        });
+    }
+    slots.into_iter().map(|s| s.expect("all partitions completed")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_arrive_in_partition_order_for_any_thread_count() {
+        let expect: Vec<usize> = (0..13).map(|p| p * p).collect();
+        for threads in [1, 2, 3, 8, 32] {
+            assert_eq!(run_parts(13, threads, |p| p * p), expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn zero_parts_is_empty() {
+        assert!(run_parts(0, 4, |p| p).is_empty());
+    }
+}

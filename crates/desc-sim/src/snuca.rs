@@ -113,15 +113,18 @@ impl SnucaSim {
         let base_cpa = 1000.0 / (apki * cores * self.profile.base_ipc);
         let cache_model = desc_cacti::CacheModel::new(self.config.l2);
 
+        // (occupancy cycles, effective latency cycles) — DESC's
+        // effective window (Fig. 21) makes the requester-visible
+        // latency shorter than the port-occupancy window.
         let mut transfer = |bank: usize,
                             schemes: &mut Vec<Box<dyn TransferScheme>>,
                             values: &mut desc_workloads::ValueStream|
-         -> u64 {
+         -> (u64, u64) {
             let block: Block = values.next_block();
             let cost = schemes[bank].transfer(&block);
             wire_energy_j +=
                 cost.total_transitions() as f64 * model.bank_energy_per_transition(bank);
-            cost.cycles
+            (cost.cycles, cost.latency())
         };
 
         for i in 0..accesses {
@@ -133,25 +136,25 @@ impl SnucaSim {
             match l2.access(addr, write, core) {
                 CacheOutcome::Hit => {
                     hits += 1;
-                    let cycles = transfer(bank, &mut schemes, &mut values);
+                    let (cycles, lat) = transfer(bank, &mut schemes, &mut values);
                     array_energy_j += cache_model.array_read_energy();
-                    let latency = array + wire_lat + cycles + iface;
+                    let latency = array + wire_lat + lat + iface;
                     hit_latency_sum += latency;
                     let (_, queue) = banks.schedule(bank, arrival, array + cycles);
                     latency_sum += latency + queue;
                 }
                 CacheOutcome::Miss { writeback } => {
                     misses += 1;
-                    let fill = transfer(bank, &mut schemes, &mut values);
+                    let (fill, fill_lat) = transfer(bank, &mut schemes, &mut values);
                     array_energy_j += cache_model.array_write_energy();
                     let mut service = array + fill;
                     if writeback {
-                        service += transfer(bank, &mut schemes, &mut values);
+                        service += transfer(bank, &mut schemes, &mut values).0;
                         array_energy_j += cache_model.array_read_energy();
                     }
                     let (start, queue) = banks.schedule(bank, arrival, service);
                     let done = dram.access(addr, start + array + wire_lat);
-                    latency_sum += queue + (done - arrival) + fill + iface;
+                    latency_sum += queue + (done - arrival) + fill_lat + iface;
                 }
             }
         }

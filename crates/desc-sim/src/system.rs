@@ -1,15 +1,34 @@
 //! The top-level system simulation: trace → L2 directory → transfer
 //! scheme → bank/DRAM timing → execution time.
+//!
+//! # Bank-sharded execution
+//!
+//! One simulation cell decomposes by L2 home bank: each bank owns a
+//! disjoint slice of the cache's sets ([`SetAssocCache::bank_slice`]),
+//! its own transfer channel (a [`TransferScheme::clone_box`] replica —
+//! wire state is per-channel, as in the S-NUCA model), its own address
+//! bus, and a value stream derived from `(seed, bank)`. Bank partitions
+//! are therefore simulated independently — serially or on worker
+//! threads ([`SimConfig::shards`]) — and merged with a deterministic,
+//! order-independent reduction (sums, maxima, and histogram merges in
+//! fixed bank order), so **results are bit-identical for any shard
+//! count**. Cross-bank DRAM channel contention is reintroduced at an
+//! epoch barrier: partitions emit their miss requests with issue
+//! timestamps, and the requests are replayed through one shared DRAM
+//! model ordered by `(issue_epoch, program_order)`
+//! ([`SimConfig::dram_epoch_cycles`]).
 
-use crate::bank::BankScheduler;
+use crate::bank::{home_bank, BankScheduler};
 use crate::cache::{CacheOutcome, SetAssocCache};
 use crate::config::SimConfig;
 use crate::dram::Dram;
+use crate::shard::run_parts;
 use desc_cacti::cache::CacheActivity;
 use desc_cacti::CacheModel;
 use desc_core::wire::Bus;
 use desc_core::{CostSummary, TransferScheme};
 use desc_workloads::{Access, BenchmarkProfile};
+use std::sync::Mutex;
 
 /// Everything measured by one simulation run.
 #[derive(Clone, Debug)]
@@ -57,6 +76,9 @@ impl SimResult {
 /// Per-access record from the functional phase, consumed by the
 /// timing phase.
 struct AccessRecord {
+    /// Program-order index within the measured window (global across
+    /// bank partitions — arrivals and DRAM ordering key off it).
+    idx: u64,
     addr: u64,
     bank: usize,
     miss: bool,
@@ -64,6 +86,46 @@ struct AccessRecord {
     service: u64,
     /// Intrinsic latency excluding queueing and DRAM.
     base_latency: u64,
+}
+
+/// One bank partition's functional-phase output. Every field merges
+/// order-independently (sums / summary merges / histogram absorbs).
+struct PartitionSim {
+    records: Vec<AccessRecord>,
+    transfer: CostSummary,
+    activity: CacheActivity,
+    hits: u64,
+    misses: u64,
+    writebacks: u64,
+    hit_latency_sum: u64,
+    invalidations: u64,
+    hit_latency_hist: desc_telemetry::LocalHistogram,
+}
+
+/// One bank partition's output for one timing pass.
+struct PartitionPass {
+    /// Per-record latency (queue + base; DRAM extra added at the epoch
+    /// barrier), parallel to the partition's `records`.
+    lat: Vec<u64>,
+    /// Miss requests for the shared DRAM, exchanged at the barrier.
+    misses: Vec<MissEvent>,
+    horizon: u64,
+    queue_hist: desc_telemetry::LocalHistogram,
+    bank_conflicts: u64,
+    bank_busy_cycles: u64,
+}
+
+/// A cross-shard DRAM request exchanged at the epoch barrier.
+struct MissEvent {
+    /// Global program-order index — the within-epoch order.
+    idx: u64,
+    /// Originating partition, for routing the DRAM delay back.
+    part: usize,
+    /// Index into the partition's `lat` vector.
+    slot: usize,
+    addr: u64,
+    /// Cycle the request reaches DRAM (bank start + miss detect).
+    issue: u64,
 }
 
 /// A configured simulation of one benchmark on one machine.
@@ -88,10 +150,16 @@ impl SystemSim {
     /// Runs `accesses` L2 accesses through `scheme` and returns the
     /// measured result.
     ///
+    /// The cell is decomposed by home bank and the bank partitions are
+    /// simulated on up to [`SimConfig::shards`] worker threads (see the
+    /// module docs); the result is bit-identical for any shard count.
+    /// `scheme` supplies the configuration — each bank channel gets its
+    /// own power-on replica via [`TransferScheme::clone_box`].
+    ///
     /// # Panics
     ///
     /// Panics if `accesses` is zero.
-    pub fn run(&self, mut scheme: Box<dyn TransferScheme>, accesses: usize) -> SimResult {
+    pub fn run(&self, scheme: Box<dyn TransferScheme>, accesses: usize) -> SimResult {
         assert!(accesses > 0, "simulate at least one access");
         let cfg = &self.config;
         let model = CacheModel::new(cfg.l2);
@@ -101,122 +169,213 @@ impl SystemSim {
         let array = model.array_delay_cycles();
         let tree = model.htree_delay_cycles();
         let miss_detect = model.miss_latency_cycles();
+        let banks_n = cfg.l2.banks;
+        let block_bytes = cfg.l2.block_bytes as u64;
 
-        // ---- Functional phase: directory, transfers, transitions. ---
-        let mut l2 = SetAssocCache::new(cfg.l2.capacity_bytes, cfg.l2.block_bytes, cfg.l2.associativity);
-        let mut banks = BankScheduler::new(cfg.l2.banks);
-        let mut values = self.profile.value_stream(self.seed);
-        let mut trace_gen = self.profile.trace(self.seed);
-        let mut addr_bus = Bus::new(48);
-        scheme.reset();
+        // One partition per bank whenever the geometry decomposes (any
+        // power-of-two bank count up to the set count — set index and
+        // bank id are then both low block-address bits, so each bank
+        // owns whole sets). Otherwise a single partition simulates all
+        // banks; that degenerate shape is still shard-count invariant.
+        let capacity_blocks = cfg.l2.capacity_bytes / cfg.l2.block_bytes;
+        let set_count = capacity_blocks / cfg.l2.associativity;
+        let parts = if banks_n.is_power_of_two() && banks_n <= set_count { banks_n } else { 1 };
+        let threads = cfg.shards.max(1);
 
-        // Warm the directory so measurements reflect steady state
-        // rather than cold-start compulsory misses (the paper runs
+        // The trace is materialised once and shared read-only by all
+        // partitions: trace generation is inherently sequential (one
+        // RNG stream), so each partition filters the common trace by
+        // home bank instead of regenerating it.
+        //
+        // Warmup brings the directory to steady state so measurements
+        // exclude cold-start compulsory misses (the paper runs
         // applications to completion; we measure a steady-state
         // window). Warmup touches the directory only — no transfers,
         // no energy.
-        let capacity_blocks = cfg.l2.capacity_bytes / cfg.l2.block_bytes;
         let warmup = (2 * capacity_blocks).max(accesses);
-        for _ in 0..warmup {
-            let Access { addr, write, core } = trace_gen.next_access();
-            let _ = l2.access(addr, write, core);
-        }
+        let mut trace_gen = self.profile.trace(self.seed);
+        let trace: Vec<Access> =
+            (0..warmup + accesses).map(|_| trace_gen.next_access()).collect();
+        let (warm, measured) = trace.split_at(warmup);
 
-        let invalidations_at_warmup = l2.invalidations();
-        let mut records = Vec::with_capacity(accesses);
+        // Clone one scheme replica per bank channel up front (on this
+        // thread — `clone_box` borrows the template), then let each
+        // partition take its own.
+        let replicas: Vec<Mutex<Option<Box<dyn TransferScheme>>>> = (0..parts)
+            .map(|_| {
+                let mut replica = scheme.clone_box();
+                replica.reset();
+                Mutex::new(Some(replica))
+            })
+            .collect();
+
+        // Telemetry is checked once per run; the per-access cost when
+        // enabled is plain (non-atomic) local-histogram adds, merged
+        // into the global registry in fixed bank order at the end.
+        let telemetry = desc_telemetry::enabled();
+
+        // ---- Functional phase: directory, transfers, transitions. ---
+        // Each partition owns its bank's directory slice, channel wire
+        // state, address bus, and value stream; partitions never share
+        // mutable state, so the worker threads need no synchronisation
+        // and the merge below is deterministic.
+        let sims: Vec<PartitionSim> = run_parts(parts, threads, |p| {
+            let mut l2 = SetAssocCache::bank_slice(
+                cfg.l2.capacity_bytes,
+                cfg.l2.block_bytes,
+                cfg.l2.associativity,
+                parts,
+                p,
+            );
+            let mut scheme = replicas[p]
+                .lock()
+                .expect("replica mutex poisoned")
+                .take()
+                .expect("each partition takes its replica once");
+            let mut values = self.profile.value_stream_for_bank(self.seed, p);
+            let mut addr_bus = Bus::new(48);
+            let owns =
+                |addr: u64| parts == 1 || home_bank(addr, block_bytes, banks_n) == p;
+
+            for &Access { addr, write, core } in warm {
+                if owns(addr) {
+                    let _ = l2.access(addr, write, core);
+                }
+            }
+            let invalidations_at_warmup = l2.invalidations();
+
+            let mut out = PartitionSim {
+                records: Vec::with_capacity(accesses / parts + 1),
+                transfer: CostSummary::new(),
+                activity: CacheActivity::default(),
+                hits: 0,
+                misses: 0,
+                writebacks: 0,
+                hit_latency_sum: 0,
+                invalidations: 0,
+                hit_latency_hist: desc_telemetry::LocalHistogram::new(),
+            };
+            for (i, &Access { addr, write, core }) in measured.iter().enumerate() {
+                if !owns(addr) {
+                    continue;
+                }
+                let bank = home_bank(addr, block_bytes, banks_n);
+                let outcome = l2.access(addr, write, core);
+                out.activity.tag_lookups += 1;
+                let addr_flips = u64::from(addr_bus.drive((addr >> 6) & ((1 << 48) - 1)));
+                out.activity.htree_transitions += addr_flips;
+
+                let mut transfer_one = |scheme: &mut Box<dyn TransferScheme>,
+                                        values: &mut desc_workloads::ValueStream,
+                                        write_dir: bool|
+                 -> desc_core::TransferCost {
+                    let block = values.next_block();
+                    let cost = scheme.transfer(&block);
+                    out.transfer.record(cost);
+                    let mut transitions = cost.total_transitions();
+                    if is_last_value && write_dir {
+                        // Last-value skipping broadcasts write data
+                        // across subbanks to keep the controller's
+                        // last-value table coherent (§5.2): extra
+                        // H-tree energy.
+                        transitions += (cost.data_transitions as f64
+                            * self.config.last_value_write_penalty)
+                            .round() as u64;
+                    }
+                    out.activity.htree_transitions += transitions;
+                    cost
+                };
+
+                match outcome {
+                    CacheOutcome::Hit => {
+                        let cost = transfer_one(&mut scheme, &mut values, write);
+                        out.hits += 1;
+                        if write {
+                            out.activity.array_writes += 1;
+                        } else {
+                            out.activity.array_reads += 1;
+                        }
+                        // Effective latency (Fig. 21 window model);
+                        // port occupancy uses the full window.
+                        let latency = array + tree + cost.latency() + iface;
+                        out.hit_latency_sum += latency;
+                        if telemetry {
+                            out.hit_latency_hist.record(latency);
+                        }
+                        out.records.push(AccessRecord {
+                            idx: i as u64,
+                            addr,
+                            bank,
+                            miss: false,
+                            service: array + cost.cycles,
+                            base_latency: latency,
+                        });
+                    }
+                    CacheOutcome::Miss { writeback } => {
+                        // Fill: one block moves over the H-tree into
+                        // the bank (and onward to the requester).
+                        let fill = transfer_one(&mut scheme, &mut values, true);
+                        out.misses += 1;
+                        out.activity.array_writes += 1;
+                        let mut service = array + fill.cycles;
+                        if writeback {
+                            out.writebacks += 1;
+                            let wb = transfer_one(&mut scheme, &mut values, false);
+                            out.activity.array_reads += 1;
+                            service += wb.cycles;
+                        }
+                        out.records.push(AccessRecord {
+                            idx: i as u64,
+                            addr,
+                            bank,
+                            miss: true,
+                            service,
+                            // DRAM latency is added during the timing
+                            // phase.
+                            base_latency: miss_detect + fill.latency() + iface,
+                        });
+                    }
+                }
+            }
+            out.invalidations = l2.invalidations() - invalidations_at_warmup;
+            out
+        });
+
+        // Deterministic functional merge, fixed bank order.
         let mut transfer_stats = CostSummary::new();
         let mut activity = CacheActivity::default();
         let mut hits = 0u64;
         let mut misses = 0u64;
         let mut writebacks = 0u64;
         let mut hit_latency_sum = 0u64;
-        // Telemetry is checked once per run; the per-access cost when
-        // enabled is plain (non-atomic) local-histogram adds, merged
-        // into the global registry after the timing phase.
-        let telemetry = desc_telemetry::enabled();
+        let mut invalidations = 0u64;
         let mut hit_latency_hist = desc_telemetry::LocalHistogram::new();
-
-        for _ in 0..accesses {
-            let Access { addr, write, core } = trace_gen.next_access();
-            let bank = banks.bank_of(addr, l2.block_bytes());
-            let outcome = l2.access(addr, write, core);
-            activity.tag_lookups += 1;
-            let addr_flips = u64::from(addr_bus.drive((addr >> 6) & ((1 << 48) - 1)));
-            activity.htree_transitions += addr_flips;
-
-            let mut transfer_one = |scheme: &mut Box<dyn TransferScheme>,
-                                    values: &mut desc_workloads::ValueStream,
-                                    write_dir: bool|
-             -> u64 {
-                let block = values.next_block();
-                let cost = scheme.transfer(&block);
-                transfer_stats.record(cost);
-                let mut transitions = cost.total_transitions();
-                if is_last_value && write_dir {
-                    // Last-value skipping broadcasts write data across
-                    // subbanks to keep the controller's last-value
-                    // table coherent (§5.2): extra H-tree energy.
-                    transitions += (cost.data_transitions as f64
-                        * self.config.last_value_write_penalty)
-                        .round() as u64;
-                }
-                activity.htree_transitions += transitions;
-                cost.cycles
-            };
-
-            match outcome {
-                CacheOutcome::Hit => {
-                    hits += 1;
-                    let cycles = transfer_one(&mut scheme, &mut values, write);
-                    if write {
-                        activity.array_writes += 1;
-                    } else {
-                        activity.array_reads += 1;
-                    }
-                    let latency = array + tree + cycles + iface;
-                    hit_latency_sum += latency;
-                    if telemetry {
-                        hit_latency_hist.record(latency);
-                    }
-                    records.push(AccessRecord {
-                        addr,
-                        bank,
-                        miss: false,
-                        service: array + cycles,
-                        base_latency: latency,
-                    });
-                }
-                CacheOutcome::Miss { writeback } => {
-                    misses += 1;
-                    // Fill: one block moves over the H-tree into the
-                    // bank (and onward to the requester).
-                    let fill_cycles = transfer_one(&mut scheme, &mut values, true);
-                    activity.array_writes += 1;
-                    let mut service = array + fill_cycles;
-                    if writeback {
-                        writebacks += 1;
-                        let wb_cycles = transfer_one(&mut scheme, &mut values, false);
-                        activity.array_reads += 1;
-                        service += wb_cycles;
-                    }
-                    records.push(AccessRecord {
-                        addr,
-                        bank,
-                        miss: true,
-                        service,
-                        // DRAM latency is added during the timing phase.
-                        base_latency: miss_detect + fill_cycles + iface,
-                    });
-                }
-            }
+        for sim in &sims {
+            transfer_stats.merge(&sim.transfer);
+            activity.htree_transitions += sim.activity.htree_transitions;
+            activity.array_reads += sim.activity.array_reads;
+            activity.array_writes += sim.activity.array_writes;
+            activity.tag_lookups += sim.activity.tag_lookups;
+            hits += sim.hits;
+            misses += sim.misses;
+            writebacks += sim.writebacks;
+            hit_latency_sum += sim.hit_latency_sum;
+            invalidations += sim.invalidations;
+            hit_latency_hist.absorb(&sim.hit_latency_hist);
         }
 
         // ---- Timing phase: iterate arrivals to a fixed point. -------
+        // Each pass: (A) banks advance independently per partition,
+        // collecting DRAM requests; (B) epoch barrier — the requests
+        // are ordered by (issue epoch, program order) and replayed
+        // through one shared DRAM, routing channel-contention delays
+        // back to their partitions; (C) order-independent merge.
         let apki = self.profile.l2_apki;
         let cores = self.profile.cores as f64;
         let base_cpa = 1000.0 / (apki * cores * self.profile.base_ipc);
         let base_cycles = (accesses as f64 * base_cpa).ceil() as u64;
         let exposure = cfg.core.exposure();
+        let epoch_cycles = cfg.dram_epoch_cycles.max(1);
 
         let mut cpa = base_cpa;
         let mut exec_cycles = base_cycles;
@@ -231,38 +390,83 @@ impl SystemSim {
         let mut dram_accesses = 0u64;
         let mut dram_row_hits = 0u64;
         for _ in 0..3 {
-            banks.reset();
-            let mut dram = Dram::new(cfg.dram_channels, cfg.dram_latency_cycles, cfg.dram_occupancy_cycles);
-            latency_sum = 0;
+            // (A) Independent bank scheduling per partition.
+            let pass_cpa = cpa;
+            let mut passes: Vec<PartitionPass> = run_parts(parts, threads, |p| {
+                let sim = &sims[p];
+                let mut sched = BankScheduler::new(banks_n);
+                let mut pass = PartitionPass {
+                    lat: Vec::with_capacity(sim.records.len()),
+                    misses: Vec::new(),
+                    horizon: 0,
+                    queue_hist: desc_telemetry::LocalHistogram::new(),
+                    bank_conflicts: 0,
+                    bank_busy_cycles: 0,
+                };
+                for (slot, r) in sim.records.iter().enumerate() {
+                    let arrival = (r.idx as f64 * pass_cpa) as u64;
+                    let (start, queue) = sched.schedule(r.bank, arrival, r.service);
+                    pass.lat.push(queue + r.base_latency);
+                    if r.miss {
+                        pass.misses.push(MissEvent {
+                            idx: r.idx,
+                            part: p,
+                            slot,
+                            addr: r.addr,
+                            issue: start + miss_detect,
+                        });
+                    }
+                    if telemetry {
+                        pass.queue_hist.record(queue);
+                        if queue > 0 {
+                            pass.bank_conflicts += 1;
+                        }
+                        pass.bank_busy_cycles += r.service;
+                    }
+                }
+                pass.horizon = sched.horizon();
+                pass
+            });
+
+            // (B) Epoch barrier: order cross-bank DRAM requests by
+            // (issue epoch, program order) — within an epoch, program
+            // order; across epochs, issue time — and replay them
+            // through one shared DRAM. The sort key is a pure function
+            // of per-partition results, so this is deterministic for
+            // any shard count.
+            let mut events: Vec<MissEvent> = Vec::new();
+            for pass in &mut passes {
+                events.append(&mut pass.misses);
+            }
+            events.sort_unstable_by_key(|e| (e.issue / epoch_cycles, e.idx));
+            let mut dram =
+                Dram::new(cfg.dram_channels, cfg.dram_latency_cycles, cfg.dram_occupancy_cycles);
+            for e in &events {
+                let done = dram.access(e.addr, e.issue);
+                passes[e.part].lat[e.slot] += done - e.issue;
+            }
+            dram_accesses = dram.accesses();
+            dram_row_hits = dram.row_hits();
+
+            // (C) Order-independent merge in fixed bank order.
+            latency_sum = passes.iter().map(|p| p.lat.iter().sum::<u64>()).sum();
             if telemetry {
                 queue_hist = desc_telemetry::LocalHistogram::new();
                 access_latency_hist = desc_telemetry::LocalHistogram::new();
                 bank_conflicts = 0;
                 bank_busy_cycles = 0;
-            }
-            for (i, r) in records.iter().enumerate() {
-                let arrival = (i as f64 * cpa) as u64;
-                let (start, queue) = banks.schedule(r.bank, arrival, r.service);
-                let mut latency = queue + r.base_latency;
-                if r.miss {
-                    let issue = start + miss_detect;
-                    let done = dram.access(r.addr, issue);
-                    latency += done - issue;
-                }
-                latency_sum += latency;
-                if telemetry {
-                    queue_hist.record(queue);
-                    access_latency_hist.record(latency);
-                    if queue > 0 {
-                        bank_conflicts += 1;
+                for pass in &passes {
+                    queue_hist.absorb(&pass.queue_hist);
+                    bank_conflicts += pass.bank_conflicts;
+                    bank_busy_cycles += pass.bank_busy_cycles;
+                    for &lat in &pass.lat {
+                        access_latency_hist.record(lat);
                     }
-                    bank_busy_cycles += r.service;
                 }
             }
-            dram_accesses = dram.accesses();
-            dram_row_hits = dram.row_hits();
+            let horizon = passes.iter().map(|p| p.horizon).max().unwrap_or(0);
             let stall_cycles = (latency_sum as f64 * exposure / cores) as u64;
-            exec_cycles = (base_cycles + stall_cycles).max(banks.horizon());
+            exec_cycles = (base_cycles + stall_cycles).max(horizon);
             cpa = exec_cycles as f64 / accesses as f64;
         }
 
@@ -274,8 +478,7 @@ impl SystemSim {
             desc_telemetry::counter!("sim.l2.hits").add(hits);
             desc_telemetry::counter!("sim.l2.misses").add(misses);
             desc_telemetry::counter!("sim.l2.writebacks").add(writebacks);
-            desc_telemetry::counter!("sim.l2.invalidations")
-                .add(l2.invalidations() - invalidations_at_warmup);
+            desc_telemetry::counter!("sim.l2.invalidations").add(invalidations);
             hit_latency_hist.flush_into(desc_telemetry::histogram!("sim.l2.hit_latency_cycles"));
             access_latency_hist
                 .flush_into(desc_telemetry::histogram!("sim.l2.access_latency_cycles"));
@@ -294,7 +497,7 @@ impl SystemSim {
             hits,
             misses,
             writebacks,
-            invalidations: l2.invalidations() - invalidations_at_warmup,
+            invalidations,
             avg_hit_latency_cycles: if hits > 0 { hit_latency_sum as f64 / hits as f64 } else { 0.0 },
             avg_access_latency_cycles: latency_sum as f64 / accesses as f64,
             exec_cycles,
@@ -416,6 +619,61 @@ mod tests {
         assert_eq!(a.activity.htree_transitions, b.activity.htree_transitions);
         assert_eq!(a.exec_cycles, b.exec_cycles);
         assert_eq!(a.hits, b.hits);
+    }
+
+    #[test]
+    fn shard_count_never_changes_results() {
+        // The decomposition unit is the bank, which is fixed by the
+        // config; `shards` only picks the worker-thread count. Results
+        // must be bit-identical for any shard count, on both machine
+        // models and for stateful (last-value) schemes.
+        for (mk, kind, seed) in [
+            (SimConfig::paper_multithreaded as fn() -> SimConfig, SchemeKind::ZeroSkippedDesc, 2013u64),
+            (SimConfig::paper_out_of_order, SchemeKind::LastValueSkippedDesc, 99),
+        ] {
+            let serial = {
+                let mut cfg = mk();
+                cfg.shards = 1;
+                SystemSim::new(cfg, BenchmarkId::Ocean.profile(), seed)
+                    .run(kind.build_paper_config(), 6_000)
+            };
+            for shards in [2, 8, 32] {
+                let mut cfg = mk();
+                cfg.shards = shards;
+                let sharded = SystemSim::new(cfg, BenchmarkId::Ocean.profile(), seed)
+                    .run(kind.build_paper_config(), 6_000);
+                assert_eq!(serial.hits, sharded.hits, "shards={shards}");
+                assert_eq!(serial.misses, sharded.misses, "shards={shards}");
+                assert_eq!(serial.writebacks, sharded.writebacks, "shards={shards}");
+                assert_eq!(serial.exec_cycles, sharded.exec_cycles, "shards={shards}");
+                assert_eq!(
+                    serial.activity.htree_transitions, sharded.activity.htree_transitions,
+                    "shards={shards}"
+                );
+                assert_eq!(serial.transfer.total(), sharded.transfer.total(), "shards={shards}");
+                assert_eq!(
+                    serial.avg_access_latency_cycles.to_bits(),
+                    sharded.avg_access_latency_cycles.to_bits(),
+                    "shards={shards}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn non_power_of_two_banks_fall_back_to_one_partition() {
+        // 3 banks cannot own whole cache sets, so the cell runs as a
+        // single partition — still correct and still shard-invariant.
+        let mut cfg = SimConfig::paper_multithreaded();
+        cfg.l2.banks = 3;
+        let serial = SystemSim::new(cfg, BenchmarkId::Fft.profile(), 11)
+            .run(SchemeKind::ConventionalBinary.build_paper_config(), 5_000);
+        cfg.shards = 4;
+        let sharded = SystemSim::new(cfg, BenchmarkId::Fft.profile(), 11)
+            .run(SchemeKind::ConventionalBinary.build_paper_config(), 5_000);
+        assert_eq!(serial.exec_cycles, sharded.exec_cycles);
+        assert_eq!(serial.activity.htree_transitions, sharded.activity.htree_transitions);
+        assert!(serial.hits + serial.misses == serial.accesses);
     }
 
     #[test]

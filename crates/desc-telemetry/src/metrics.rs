@@ -242,11 +242,39 @@ impl LocalHistogram {
         target.merge(self);
         *self = Self::new();
     }
+
+    /// Merges another local histogram into this one (commutative and
+    /// associative, so shard-local histograms can be reduced in any
+    /// grouping and flushed once).
+    pub fn absorb(&mut self, other: &LocalHistogram) {
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn absorb_matches_recording_directly() {
+        let mut whole = LocalHistogram::new();
+        let mut left = LocalHistogram::new();
+        let mut right = LocalHistogram::new();
+        for v in [0u64, 1, 5, 9, 1000, u64::MAX] {
+            whole.record(v);
+            if v % 2 == 0 { left.record(v) } else { right.record(v) }
+        }
+        let mut merged = LocalHistogram::new();
+        merged.absorb(&left);
+        merged.absorb(&right);
+        assert_eq!(merged.count(), whole.count());
+        assert_eq!(merged.sum(), whole.sum());
+        assert_eq!(merged.buckets, whole.buckets);
+    }
 
     #[test]
     fn bucket_edges() {

@@ -4,7 +4,7 @@
 //! Schema (`desc-run-report/v1`), top-level keys:
 //!
 //! - `schema` — the literal `"desc-run-report/v1"`.
-//! - `meta` — tool name/version, seed, scale, jobs, experiment list,
+//! - `meta` — tool name/version, seed, scale, jobs, shards, experiment list,
 //!   and a wall-clock timestamp (the one intentionally
 //!   non-deterministic field).
 //! - `metrics` — one entry per registered metric, name-sorted; each is
@@ -32,6 +32,8 @@ pub struct ReportMeta {
     pub scale: String,
     /// Worker count used for sweeps.
     pub jobs: usize,
+    /// Intra-cell worker count (bank shards per simulation cell).
+    pub shards: usize,
     /// Experiments that ran, in execution order.
     pub experiments: Vec<String>,
 }
@@ -61,6 +63,7 @@ impl Report {
             .with("seed", Json::UInt(self.meta.seed))
             .with("scale", Json::Str(self.meta.scale.clone()))
             .with("jobs", Json::UInt(self.meta.jobs as u64))
+            .with("shards", Json::UInt(self.meta.shards as u64))
             .with(
                 "experiments",
                 Json::Arr(self.meta.experiments.iter().map(|e| Json::Str(e.clone())).collect()),
@@ -151,6 +154,7 @@ mod tests {
                 seed: 2013,
                 scale: "quick".to_owned(),
                 jobs: 4,
+                shards: 2,
                 experiments: vec!["fig16".to_owned()],
             },
             snapshot: r.snapshot(),

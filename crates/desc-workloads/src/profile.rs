@@ -106,6 +106,19 @@ impl BenchmarkProfile {
         self.values.stream(seed ^ (self.id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
     }
 
+    /// A deterministic stream of block contents for one L2 bank of
+    /// this benchmark.
+    ///
+    /// Bank-sharded simulation gives every bank its own value stream so
+    /// banks can be simulated independently; the per-bank seed is
+    /// derived from `(seed, bank)` via [`desc_core::rng::mix_seed`], so
+    /// the streams are independent of each other and of how many worker
+    /// threads simulate them.
+    #[must_use]
+    pub fn value_stream_for_bank(&self, seed: u64, bank: usize) -> ValueStream {
+        self.value_stream(desc_core::rng::mix_seed(seed, bank as u64))
+    }
+
     /// A deterministic access-trace generator for this benchmark.
     #[must_use]
     pub fn trace(&self, seed: u64) -> TraceGenerator {

@@ -12,7 +12,7 @@ use desc::sim::{SimConfig, SystemSim};
 use desc::workloads::BenchmarkId;
 
 fn scale() -> Scale {
-    Scale { accesses: 2_000, apps: 3, seed: 99, jobs: 1 }
+    Scale { accesses: 2_000, apps: 3, seed: 99, jobs: 1, shards: 1 }
 }
 
 #[test]
