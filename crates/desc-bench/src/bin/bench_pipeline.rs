@@ -8,16 +8,19 @@
 //!
 //! Times `run_app` (one complete simulate-and-price cell, exactly what
 //! every figure sweep executes per cell) for conventional binary and
-//! zero-skipped DESC across a sweep of intra-cell shard counts, and
-//! appends simulated-accesses-per-second to `BENCH_pipeline.json` in
-//! the shared history format. Each entry records its `shards` axis so
-//! the history distinguishes serial from bank-sharded throughput;
-//! results are bit-identical across the axis, only wall-clock moves.
+//! zero-skipped DESC across a sweep of intra-cell shard counts, plus
+//! one S-NUCA-1 cell (`SnucaSim::run`, the fig23/fig24 unit) on the
+//! same shard axis, and appends simulated-accesses-per-second to
+//! `BENCH_pipeline.json` in the shared history format. Each entry
+//! records its `shards` axis so the history distinguishes serial from
+//! bank-sharded throughput; results are bit-identical across the
+//! axis, only wall-clock moves.
 
 use desc_bench::{append_history, best_rate};
 use desc_core::schemes::SchemeKind;
 use desc_experiments::common::run_app;
 use desc_experiments::Scale;
+use desc_sim::{SimConfig, SnucaSim};
 use desc_telemetry::Json;
 use desc_workloads::BenchmarkId;
 use std::hint::black_box;
@@ -42,6 +45,32 @@ fn main() {
             black_box(run_app(kind, &profile, &scale).l2_energy());
             let cells_per_sec = best_rate(3, REPS, || {
                 black_box(run_app(kind, &profile, &scale).l2_energy());
+            });
+            let accesses_per_sec = cells_per_sec * ACCESSES as f64;
+            println!("{label:<24} {shards:>7} {cells_per_sec:>14.2} {accesses_per_sec:>18.0}");
+            results.push(
+                Json::obj()
+                    .with("scheme", Json::Str(label.to_owned()))
+                    .with("shards", Json::UInt(shards as u64))
+                    .with("cells_per_sec", Json::Num((cells_per_sec * 100.0).round() / 100.0))
+                    .with("accesses_per_sec", Json::Num(accesses_per_sec.round())),
+            );
+        }
+    }
+
+    // S-NUCA-1 cell (fig23/fig24 unit): 128 bank partitions per cell,
+    // the densest shard decomposition in the workspace.
+    for (label, kind) in [
+        ("snuca_conventional_binary", SchemeKind::ConventionalBinary),
+        ("snuca_zero_skip_desc", SchemeKind::ZeroSkippedDesc),
+    ] {
+        for shards in [1usize, 2, 4, 8] {
+            let mut cfg = SimConfig::paper_multithreaded();
+            cfg.shards = shards;
+            let sim = SnucaSim::new(cfg, profile, scale.seed);
+            black_box(sim.run(kind.build_paper_config(), ACCESSES).total_energy_j());
+            let cells_per_sec = best_rate(3, REPS, || {
+                black_box(sim.run(kind.build_paper_config(), ACCESSES).total_energy_j());
             });
             let accesses_per_sec = cells_per_sec * ACCESSES as f64;
             println!("{label:<24} {shards:>7} {cells_per_sec:>14.2} {accesses_per_sec:>18.0}");

@@ -13,12 +13,13 @@ pub fn run(scale: &Scale) -> Table {
         "Fig. 23: S-NUCA-1 execution time with zero-skipped DESC (normalised)",
         &["App", "Normalised execution time"],
     );
-    let cfg = SimConfig::paper_multithreaded();
+    let mut cfg = SimConfig::paper_multithreaded();
+    cfg.shards = scale.shards.max(1);
     let suite = scale.suite();
     let per_app = run_matrix(&[()], &suite, scale, |&(), p| {
         let sim = SnucaSim::new(cfg, *p, scale.seed);
-        let bin = sim.run(&|| SchemeKind::ConventionalBinary.build_paper_config(), scale.accesses);
-        let desc = sim.run(&|| SchemeKind::ZeroSkippedDesc.build_paper_config(), scale.accesses);
+        let bin = sim.run(SchemeKind::ConventionalBinary.build_paper_config(), scale.accesses);
+        let desc = sim.run(SchemeKind::ZeroSkippedDesc.build_paper_config(), scale.accesses);
         desc.exec_time_s / bin.exec_time_s
     });
     let mut ratios = Vec::new();

@@ -14,12 +14,13 @@ pub fn run(scale: &Scale) -> Table {
         "Fig. 24: S-NUCA-1 L2 energy with zero-skipped DESC (normalised)",
         &["App", "Normalised L2 energy"],
     );
-    let cfg = SimConfig::paper_multithreaded();
+    let mut cfg = SimConfig::paper_multithreaded();
+    cfg.shards = scale.shards.max(1);
     let suite = scale.suite();
     let per_app = run_matrix(&[()], &suite, scale, |&(), p| {
         let sim = SnucaSim::new(cfg, *p, scale.seed);
-        let bin = sim.run(&|| SchemeKind::ConventionalBinary.build_paper_config(), scale.accesses);
-        let desc = sim.run(&|| SchemeKind::ZeroSkippedDesc.build_paper_config(), scale.accesses);
+        let bin = sim.run(SchemeKind::ConventionalBinary.build_paper_config(), scale.accesses);
+        let desc = sim.run(SchemeKind::ZeroSkippedDesc.build_paper_config(), scale.accesses);
         // DESC interfaces add static overhead here too.
         (desc.wire_energy_j + desc.array_energy_j + desc.static_energy_j * 1.03)
             / bin.total_energy_j()

@@ -2,6 +2,8 @@
 //! byte-identical and `desc-run-report/v1` metrics identical for any
 //! `--shards` count at a fixed seed, because the decomposition unit is
 //! the L2 bank (fixed by the machine config), not the thread count.
+//! Covered figures span both machine organisations: fig16 (UCA,
+//! `SystemSim`) and fig23/fig24 (S-NUCA-1, `SnucaSim`).
 //!
 //! The telemetry flag and registry are process-global, so everything
 //! lives in one `#[test]` to keep toggles serialized.
@@ -9,9 +11,12 @@
 use desc_experiments::{run_experiment, Scale};
 use desc_telemetry::{Report, ReportMeta};
 
-fn report_for(shards: usize, scale: &Scale) -> (String, String) {
+fn report_for(experiments: &[&str], shards: usize, scale: &Scale) -> (Vec<String>, String) {
     desc_telemetry::global().reset_all();
-    let rendered = run_experiment("fig16", &scale.with_shards(shards)).render();
+    let renders: Vec<String> = experiments
+        .iter()
+        .map(|name| run_experiment(name, &scale.with_shards(shards)).render())
+        .collect();
     let _ = desc_telemetry::drain_spans();
     let report = Report {
         meta: ReportMeta {
@@ -21,7 +26,7 @@ fn report_for(shards: usize, scale: &Scale) -> (String, String) {
             scale: "tiny".to_owned(),
             jobs: scale.jobs,
             shards,
-            experiments: vec!["fig16".to_owned()],
+            experiments: experiments.iter().map(|&e| e.to_owned()).collect(),
         },
         snapshot: desc_telemetry::global().snapshot(),
         spans: Vec::new(),
@@ -30,24 +35,30 @@ fn report_for(shards: usize, scale: &Scale) -> (String, String) {
     // timestamp), which legitimately differs between runs.
     let json = report.to_json();
     let metrics = json.get("metrics").expect("report has metrics").to_pretty();
-    (rendered, metrics)
+    (renders, metrics)
 }
 
 #[test]
 fn figure_bytes_and_report_metrics_are_shard_invariant() {
     let scale = Scale::tiny();
+    let experiments = ["fig16", "fig23", "fig24"];
     desc_telemetry::set_enabled(true);
-    let (serial_render, serial_metrics) = report_for(1, &scale);
+    let (serial_renders, serial_metrics) = report_for(&experiments, 1, &scale);
     assert!(
         serial_metrics.contains("sim.l2.accesses"),
-        "baseline report recorded no simulator metrics"
+        "baseline report recorded no UCA simulator metrics"
+    );
+    assert!(
+        serial_metrics.contains("sim.snuca.accesses"),
+        "baseline report recorded no S-NUCA simulator metrics"
     );
     for shards in [2, 8] {
-        let (render, metrics) = report_for(shards, &scale);
-        assert_eq!(
-            serial_render, render,
-            "fig16 output diverged at --shards {shards}"
-        );
+        let (renders, metrics) = report_for(&experiments, shards, &scale);
+        for (name, (serial, sharded)) in
+            experiments.iter().zip(serial_renders.iter().zip(&renders))
+        {
+            assert_eq!(serial, sharded, "{name} output diverged at --shards {shards}");
+        }
         assert_eq!(
             serial_metrics, metrics,
             "run-report metrics diverged at --shards {shards}"

@@ -76,7 +76,8 @@ pub struct SimConfig {
     /// (§5.2). 0.0 for every other scheme.
     pub last_value_write_penalty: f64,
     /// Worker threads simulating one cell's L2 bank partitions (the
-    /// intra-cell shard knob, `repro --shards`).
+    /// intra-cell shard knob, `repro --shards`), honoured by both
+    /// [`crate::system::SystemSim`] and [`crate::snuca::SnucaSim`].
     ///
     /// The simulation always decomposes a cell by home bank and merges
     /// per-bank results with a deterministic, order-independent

@@ -1,10 +1,11 @@
 //! Worker-pool plumbing for bank-sharded simulation.
 //!
 //! One simulation cell decomposes into independent bank partitions
-//! (see [`crate::system::SystemSim`]); this module runs the partition
-//! closures on up to `threads` scoped worker threads and returns the
-//! results **in partition order**, so callers can merge them with a
-//! deterministic reduction. With `threads <= 1` the partitions run
+//! (see [`crate::system::SystemSim`] for the UCA machine and
+//! [`crate::snuca::SnucaSim`] for S-NUCA-1); this module runs the
+//! partition closures on up to `threads` scoped worker threads and
+//! returns the results **in partition order**, so callers can merge
+//! them with a deterministic reduction. With `threads <= 1` the partitions run
 //! serially on the calling thread — no pool, no synchronisation.
 //!
 //! The partition function is pure with respect to ordering (each

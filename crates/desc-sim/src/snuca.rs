@@ -5,14 +5,36 @@
 //! H-tree trunk, and bank-level parallelism is abundant. Each bank's
 //! channel keeps its own wire state, so transfer schemes are
 //! instantiated per bank.
+//!
+//! # Bank-sharded execution
+//!
+//! The S-NUCA organisation is the ideal case for the bank-sharded
+//! decomposition used by [`crate::system::SystemSim`], because the
+//! serial model *already* gives every bank a private channel (its own
+//! [`TransferScheme`] replica) and a private value stream: there is no
+//! shared wire state to replicate, so the per-bank decomposition is
+//! exact by construction. One simulation cell always decomposes into
+//! one partition per bank — each owning the bank's directory slice
+//! ([`crate::cache::SetAssocCache::bank_slice`]), channel replica
+//! ([`TransferScheme::clone_box`]), value stream
+//! (`mix_seed(seed, bank)`), and port schedule — and the partitions run
+//! serially or on up to [`crate::config::SimConfig::shards`] worker
+//! threads. The only cross-bank coupling, DRAM channel contention, is
+//! reconciled at a deterministic epoch barrier: partitions emit miss
+//! requests with issue timestamps, and the requests are replayed
+//! through one shared [`Dram`] ordered by
+//! `(issue / dram_epoch_cycles, program index)`. Results are therefore
+//! **bit-identical for any shard count**.
 
-use crate::bank::BankScheduler;
+use crate::bank::{home_bank, BankScheduler};
 use crate::cache::{CacheOutcome, SetAssocCache};
 use crate::config::SimConfig;
 use crate::dram::Dram;
+use crate::shard::run_parts;
 use desc_cacti::snuca::SnucaModel;
-use desc_core::{TransferScheme, Block};
+use desc_core::TransferScheme;
 use desc_workloads::{Access, BenchmarkProfile};
+use std::sync::Mutex;
 
 /// Result of an S-NUCA-1 run.
 #[derive(Clone, Debug)]
@@ -43,7 +65,46 @@ impl SnucaResult {
     }
 }
 
+/// Per-bank array delay: S-NUCA banks are 64 KB, much faster than the
+/// UCA's 1 MB banks — a fixed 3-cycle array access.
+const ARRAY_CYCLES: u64 = 3;
+
+/// One bank partition's output. Every field merges
+/// order-independently (sums, maxima, histogram absorbs), so the
+/// reduction over partitions is deterministic for any shard count.
+struct PartitionOut {
+    wire_energy_j: f64,
+    array_energy_j: f64,
+    hits: u64,
+    misses: u64,
+    hit_latency_sum: u64,
+    /// Queue + intrinsic latency over the partition's accesses; the
+    /// DRAM share of miss latency is added at the epoch barrier.
+    latency_sum: u64,
+    horizon: u64,
+    transitions: u64,
+    /// Miss requests for the shared DRAM, exchanged at the barrier.
+    events: Vec<MissEvent>,
+    hit_latency_hist: desc_telemetry::LocalHistogram,
+}
+
+/// A cross-bank DRAM request exchanged at the epoch barrier.
+struct MissEvent {
+    /// Global program-order index — the within-epoch order.
+    idx: u64,
+    addr: u64,
+    /// Cycle the request reaches DRAM (bank start + array + wire).
+    issue: u64,
+    /// Requester arrival time, subtracted from the DRAM completion to
+    /// yield the access's memory latency share.
+    arrival: u64,
+}
+
 /// A configured S-NUCA-1 simulation.
+///
+/// The same `SnucaSim` can run different transfer schemes; each run
+/// replays the identical trace and per-bank block-content streams, so
+/// scheme comparisons are paired.
 pub struct SnucaSim {
     config: SimConfig,
     profile: BenchmarkProfile,
@@ -57,113 +118,259 @@ impl SnucaSim {
         Self { config, profile, seed }
     }
 
-    /// Runs `accesses` accesses; `make_scheme` builds one transfer
-    /// scheme per bank channel (each channel has independent wire
-    /// state).
+    /// Runs `accesses` accesses through `scheme` and returns the
+    /// measured result.
+    ///
+    /// `scheme` supplies the configuration — each of the 128 bank
+    /// channels gets its own power-on replica via
+    /// [`TransferScheme::clone_box`], because S-NUCA channels have
+    /// independent wire state. The cell always decomposes into one
+    /// partition per bank, executed on up to
+    /// [`SimConfig::shards`] worker threads (see the module docs);
+    /// the result is bit-identical for any shard count.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use desc_core::schemes::SchemeKind;
+    /// use desc_sim::{SimConfig, SnucaSim};
+    /// use desc_workloads::BenchmarkId;
+    ///
+    /// let mut cfg = SimConfig::paper_multithreaded();
+    /// cfg.shards = 2; // worker threads; the result does not depend on this
+    /// let sim = SnucaSim::new(cfg, BenchmarkId::Ocean.profile(), 2013);
+    /// let r = sim.run(SchemeKind::ZeroSkippedDesc.build_paper_config(), 2_000);
+    /// assert_eq!(r.accesses, 2_000);
+    /// assert!(r.wire_energy_j > 0.0 && r.exec_time_s > 0.0);
+    /// ```
     ///
     /// # Panics
     ///
     /// Panics if `accesses` is zero.
-    pub fn run(
-        &self,
-        make_scheme: &dyn Fn() -> Box<dyn TransferScheme>,
-        accesses: usize,
-    ) -> SnucaResult {
+    pub fn run(&self, scheme: Box<dyn TransferScheme>, accesses: usize) -> SnucaResult {
         assert!(accesses > 0, "simulate at least one access");
+        let cfg = &self.config;
         let model = SnucaModel::paper_default();
         let banks_n = model.banks();
-        let mut schemes: Vec<Box<dyn TransferScheme>> = (0..banks_n).map(|_| make_scheme()).collect();
-        let is_desc = schemes[0].name().contains("DESC");
-        let iface = if is_desc { self.config.desc_interface_cycles } else { 0 };
+        let is_desc = scheme.name().contains("DESC");
+        let iface = if is_desc { cfg.desc_interface_cycles } else { 0 };
+        let block_bytes = cfg.l2.block_bytes as u64;
+        let cache_model = desc_cacti::CacheModel::new(cfg.l2);
 
-        // Per-bank array delay: banks are 64 KB, much faster than the
-        // UCA's 1 MB banks — use a fixed 3-cycle array access.
-        let array = 3u64;
+        // One partition per bank whenever the geometry decomposes
+        // (power-of-two bank count no larger than the set count — the
+        // paper's 128-bank / 8192-set configuration always does);
+        // otherwise a single partition simulates all banks. Either
+        // way the partition count is fixed by the configuration, never
+        // by `shards`, so results are shard-count invariant.
+        let capacity_blocks = cfg.l2.capacity_bytes / cfg.l2.block_bytes;
+        let set_count = capacity_blocks / cfg.l2.associativity;
+        let parts = if banks_n.is_power_of_two() && banks_n <= set_count { banks_n } else { 1 };
+        let threads = cfg.shards.max(1);
 
-        let mut l2 = SetAssocCache::new(
-            self.config.l2.capacity_bytes,
-            self.config.l2.block_bytes,
-            self.config.l2.associativity,
-        );
-        let mut values = self.profile.value_stream(self.seed);
+        // The trace is materialised once and shared read-only: trace
+        // generation is one sequential RNG stream, so partitions
+        // filter the common trace by home bank instead of
+        // regenerating it. Warmup (directory only — no transfers, no
+        // energy) brings the directory to steady state.
+        let warmup = (2 * capacity_blocks).max(accesses);
         let mut trace_gen = self.profile.trace(self.seed);
-        let mut banks = BankScheduler::new(banks_n);
-        let mut dram = Dram::new(
-            self.config.dram_channels,
-            self.config.dram_latency_cycles,
-            self.config.dram_occupancy_cycles,
-        );
+        let trace: Vec<Access> =
+            (0..warmup + accesses).map(|_| trace_gen.next_access()).collect();
+        let (warm, measured) = trace.split_at(warmup);
 
-        // Steady-state warmup (directory only), as in `SystemSim`.
-        let capacity_blocks = self.config.l2.capacity_bytes / self.config.l2.block_bytes;
-        for _ in 0..(2 * capacity_blocks).max(accesses) {
-            let Access { addr, write, core } = trace_gen.next_access();
-            let _ = l2.access(addr, write, core);
-        }
+        // One channel replica per bank, cloned up front on this thread
+        // (`clone_box` borrows the template); each partition takes its
+        // owned banks' replicas.
+        let replicas: Vec<Mutex<Option<Box<dyn TransferScheme>>>> = (0..banks_n)
+            .map(|_| {
+                let mut replica = scheme.clone_box();
+                replica.reset();
+                Mutex::new(Some(replica))
+            })
+            .collect();
 
-        let mut wire_energy_j = 0.0f64;
-        let mut array_energy_j = 0.0f64;
-        let mut misses = 0u64;
-        let mut hit_latency_sum = 0u64;
-        let mut hits = 0u64;
-        let mut latency_sum = 0u64;
+        let telemetry = desc_telemetry::enabled();
 
         let apki = self.profile.l2_apki;
         let cores = self.profile.cores as f64;
         let base_cpa = 1000.0 / (apki * cores * self.profile.base_ipc);
-        let cache_model = desc_cacti::CacheModel::new(self.config.l2);
 
-        // (occupancy cycles, effective latency cycles) — DESC's
-        // effective window (Fig. 21) makes the requester-visible
-        // latency shorter than the port-occupancy window.
-        let mut transfer = |bank: usize,
-                            schemes: &mut Vec<Box<dyn TransferScheme>>,
-                            values: &mut desc_workloads::ValueStream|
-         -> (u64, u64) {
-            let block: Block = values.next_block();
-            let cost = schemes[bank].transfer(&block);
-            wire_energy_j +=
-                cost.total_transitions() as f64 * model.bank_energy_per_transition(bank);
-            (cost.cycles, cost.latency())
-        };
+        // ---- Per-bank phase: directory, transfers, bank timing. -----
+        // Partition `p` owns banks `b` with `b % parts == p` (exactly
+        // bank `p` in the decomposed case): its directory slice, the
+        // banks' channel replicas and value streams, and the banks'
+        // port schedules. Partitions share no mutable state; the merge
+        // below is a deterministic reduction in fixed bank order.
+        let outs: Vec<PartitionOut> = run_parts(parts, threads, |p| {
+            let mut l2 = SetAssocCache::bank_slice(
+                cfg.l2.capacity_bytes,
+                cfg.l2.block_bytes,
+                cfg.l2.associativity,
+                parts,
+                p,
+            );
+            // Owned bank `b` lives at index `b / parts` (b ≡ p mod parts).
+            let mut channels: Vec<(Box<dyn TransferScheme>, desc_workloads::ValueStream)> =
+                (p..banks_n)
+                    .step_by(parts)
+                    .map(|b| {
+                        let replica = replicas[b]
+                            .lock()
+                            .expect("replica mutex poisoned")
+                            .take()
+                            .expect("each bank's replica is taken once");
+                        (replica, self.profile.value_stream_for_bank(self.seed, b))
+                    })
+                    .collect();
+            let mut sched = BankScheduler::new(banks_n);
+            let owns = |bank: usize| bank % parts == p;
 
-        for i in 0..accesses {
-            let Access { addr, write, core } = trace_gen.next_access();
-            let bank = (addr / 64 % banks_n as u64) as usize;
-            let wire_lat = model.bank_latency_cycles(bank);
-            let arrival = (i as f64 * base_cpa) as u64;
-            array_energy_j += cache_model.tag_access_energy();
-            match l2.access(addr, write, core) {
-                CacheOutcome::Hit => {
-                    hits += 1;
-                    let (cycles, lat) = transfer(bank, &mut schemes, &mut values);
-                    array_energy_j += cache_model.array_read_energy();
-                    let latency = array + wire_lat + lat + iface;
-                    hit_latency_sum += latency;
-                    let (_, queue) = banks.schedule(bank, arrival, array + cycles);
-                    latency_sum += latency + queue;
-                }
-                CacheOutcome::Miss { writeback } => {
-                    misses += 1;
-                    let (fill, fill_lat) = transfer(bank, &mut schemes, &mut values);
-                    array_energy_j += cache_model.array_write_energy();
-                    let mut service = array + fill;
-                    if writeback {
-                        service += transfer(bank, &mut schemes, &mut values).0;
-                        array_energy_j += cache_model.array_read_energy();
-                    }
-                    let (start, queue) = banks.schedule(bank, arrival, service);
-                    let done = dram.access(addr, start + array + wire_lat);
-                    latency_sum += queue + (done - arrival) + fill_lat + iface;
+            for &Access { addr, write, core } in warm {
+                if owns(home_bank(addr, block_bytes, banks_n)) {
+                    let _ = l2.access(addr, write, core);
                 }
             }
+
+            let mut out = PartitionOut {
+                wire_energy_j: 0.0,
+                array_energy_j: 0.0,
+                hits: 0,
+                misses: 0,
+                hit_latency_sum: 0,
+                latency_sum: 0,
+                horizon: 0,
+                transitions: 0,
+                events: Vec::new(),
+                hit_latency_hist: desc_telemetry::LocalHistogram::new(),
+            };
+            for (i, &Access { addr, write, core }) in measured.iter().enumerate() {
+                let bank = home_bank(addr, block_bytes, banks_n);
+                if !owns(bank) {
+                    continue;
+                }
+                let wire_lat = model.bank_latency_cycles(bank);
+                let arrival = (i as f64 * base_cpa) as u64;
+                out.array_energy_j += cache_model.tag_access_energy();
+
+                // (occupancy cycles, effective latency cycles) — the
+                // effective window (Fig. 21) makes the
+                // requester-visible latency shorter than the
+                // port-occupancy window.
+                let transfer = |out: &mut PartitionOut,
+                                    channels: &mut [(
+                    Box<dyn TransferScheme>,
+                    desc_workloads::ValueStream,
+                )]| -> (u64, u64) {
+                    let (scheme, values) = &mut channels[bank / parts];
+                    let block = values.next_block();
+                    let cost = scheme.transfer(&block);
+                    let transitions = cost.total_transitions();
+                    out.transitions += transitions;
+                    out.wire_energy_j +=
+                        transitions as f64 * model.bank_energy_per_transition(bank);
+                    (cost.cycles, cost.latency())
+                };
+
+                match l2.access(addr, write, core) {
+                    CacheOutcome::Hit => {
+                        out.hits += 1;
+                        let (cycles, lat) = transfer(&mut out, &mut channels);
+                        out.array_energy_j += cache_model.array_read_energy();
+                        let latency = ARRAY_CYCLES + wire_lat + lat + iface;
+                        out.hit_latency_sum += latency;
+                        if telemetry {
+                            out.hit_latency_hist.record(latency);
+                        }
+                        let (_, queue) = sched.schedule(bank, arrival, ARRAY_CYCLES + cycles);
+                        out.latency_sum += latency + queue;
+                    }
+                    CacheOutcome::Miss { writeback } => {
+                        out.misses += 1;
+                        let (fill, fill_lat) = transfer(&mut out, &mut channels);
+                        out.array_energy_j += cache_model.array_write_energy();
+                        let mut service = ARRAY_CYCLES + fill;
+                        if writeback {
+                            service += transfer(&mut out, &mut channels).0;
+                            out.array_energy_j += cache_model.array_read_energy();
+                        }
+                        let (start, queue) = sched.schedule(bank, arrival, service);
+                        out.events.push(MissEvent {
+                            idx: i as u64,
+                            addr,
+                            issue: start + ARRAY_CYCLES + wire_lat,
+                            arrival,
+                        });
+                        // The DRAM share (completion − arrival) is
+                        // added at the epoch barrier below.
+                        out.latency_sum += queue + fill_lat + iface;
+                    }
+                }
+            }
+            out.horizon = sched.horizon();
+            out
+        });
+
+        // ---- Epoch barrier: shared DRAM replay. ---------------------
+        // Cross-bank DRAM channel contention is the one coupling the
+        // partitions cannot resolve alone. Requests are ordered by
+        // (issue epoch, program order) — a pure function of the
+        // per-partition outputs, hence identical for any shard count —
+        // and replayed through one shared DRAM.
+        let epoch_cycles = cfg.dram_epoch_cycles.max(1);
+        let mut events: Vec<MissEvent> = Vec::new();
+        let mut outs = outs;
+        for out in &mut outs {
+            events.append(&mut out.events);
+        }
+        events.sort_unstable_by_key(|e| (e.issue / epoch_cycles, e.idx));
+        let mut dram =
+            Dram::new(cfg.dram_channels, cfg.dram_latency_cycles, cfg.dram_occupancy_cycles);
+        let mut dram_latency_sum = 0u64;
+        for e in &events {
+            let done = dram.access(e.addr, e.issue);
+            dram_latency_sum += done - e.arrival;
+        }
+
+        // ---- Deterministic merge, fixed bank order. -----------------
+        let mut wire_energy_j = 0.0f64;
+        let mut array_energy_j = 0.0f64;
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        let mut hit_latency_sum = 0u64;
+        let mut latency_sum = dram_latency_sum;
+        let mut transitions = 0u64;
+        let mut hit_latency_hist = desc_telemetry::LocalHistogram::new();
+        let mut horizon = 0u64;
+        for out in &outs {
+            wire_energy_j += out.wire_energy_j;
+            array_energy_j += out.array_energy_j;
+            hits += out.hits;
+            misses += out.misses;
+            hit_latency_sum += out.hit_latency_sum;
+            latency_sum += out.latency_sum;
+            transitions += out.transitions;
+            horizon = horizon.max(out.horizon);
+            hit_latency_hist.absorb(&out.hit_latency_hist);
         }
 
         let base_cycles = (accesses as f64 * base_cpa).ceil() as u64;
-        let stall = (latency_sum as f64 * self.config.core.exposure() / cores) as u64;
-        let exec_cycles = (base_cycles + stall).max(banks.horizon());
-        let exec_time_s = exec_cycles as f64 * self.config.l2.tech.cycle_s();
+        let stall = (latency_sum as f64 * cfg.core.exposure() / cores) as u64;
+        let exec_cycles = (base_cycles + stall).max(horizon);
+        let exec_time_s = exec_cycles as f64 * cfg.l2.tech.cycle_s();
         let static_energy_j = cache_model.leakage_power() * exec_time_s;
+
+        if telemetry {
+            desc_telemetry::counter!("sim.snuca.accesses").add(accesses as u64);
+            desc_telemetry::counter!("sim.snuca.hits").add(hits);
+            desc_telemetry::counter!("sim.snuca.misses").add(misses);
+            desc_telemetry::counter!("sim.snuca.wire_transitions").add(transitions);
+            desc_telemetry::counter!("sim.snuca.dram.accesses").add(dram.accesses());
+            desc_telemetry::counter!("sim.snuca.dram.row_hits").add(dram.row_hits());
+            hit_latency_hist
+                .flush_into(desc_telemetry::histogram!("sim.snuca.hit_latency_cycles"));
+            desc_telemetry::counter!("sim.snuca.runs").incr();
+        }
 
         SnucaResult {
             accesses: accesses as u64,
@@ -191,7 +398,7 @@ mod tests {
     fn run(kind: SchemeKind, n: usize) -> SnucaResult {
         let cfg = SimConfig::paper_multithreaded();
         let sim = SnucaSim::new(cfg, BenchmarkId::Ocean.profile(), 11);
-        sim.run(&|| kind.build_paper_config(), n)
+        sim.run(kind.build_paper_config(), n)
     }
 
     #[test]
@@ -243,5 +450,48 @@ mod tests {
         let b = run(SchemeKind::ZeroSkippedDesc, 3_000);
         assert_eq!(a.exec_cycles, b.exec_cycles);
         assert!((a.wire_energy_j - b.wire_energy_j).abs() < 1e-18);
+    }
+
+    #[test]
+    fn shard_count_never_changes_results() {
+        // The decomposition unit is the bank — all 128 of them, fixed
+        // by the S-NUCA configuration — and `shards` only picks the
+        // worker-thread count, so results must be bit-identical for
+        // any shard count, including with a stateful last-value
+        // scheme whose wire state evolves per channel.
+        for (kind, seed) in [
+            (SchemeKind::ZeroSkippedDesc, 2013u64),
+            (SchemeKind::LastValueSkippedDesc, 99),
+        ] {
+            let serial = {
+                let mut cfg = SimConfig::paper_multithreaded();
+                cfg.shards = 1;
+                SnucaSim::new(cfg, BenchmarkId::Ocean.profile(), seed)
+                    .run(kind.build_paper_config(), 5_000)
+            };
+            for shards in [2, 8, 32] {
+                let mut cfg = SimConfig::paper_multithreaded();
+                cfg.shards = shards;
+                let sharded = SnucaSim::new(cfg, BenchmarkId::Ocean.profile(), seed)
+                    .run(kind.build_paper_config(), 5_000);
+                assert_eq!(serial.misses, sharded.misses, "shards={shards}");
+                assert_eq!(serial.exec_cycles, sharded.exec_cycles, "shards={shards}");
+                assert_eq!(
+                    serial.wire_energy_j.to_bits(),
+                    sharded.wire_energy_j.to_bits(),
+                    "shards={shards}"
+                );
+                assert_eq!(
+                    serial.array_energy_j.to_bits(),
+                    sharded.array_energy_j.to_bits(),
+                    "shards={shards}"
+                );
+                assert_eq!(
+                    serial.avg_hit_latency_cycles.to_bits(),
+                    sharded.avg_hit_latency_cycles.to_bits(),
+                    "shards={shards}"
+                );
+            }
+        }
     }
 }

@@ -156,6 +156,21 @@ impl SystemSim {
     /// `scheme` supplies the configuration — each bank channel gets its
     /// own power-on replica via [`TransferScheme::clone_box`].
     ///
+    /// # Examples
+    ///
+    /// ```
+    /// use desc_core::schemes::SchemeKind;
+    /// use desc_sim::{SimConfig, SystemSim};
+    /// use desc_workloads::BenchmarkId;
+    ///
+    /// let mut cfg = SimConfig::paper_multithreaded();
+    /// cfg.shards = 2; // worker threads; the result does not depend on this
+    /// let sim = SystemSim::new(cfg, BenchmarkId::Radix.profile(), 2013);
+    /// let r = sim.run(SchemeKind::ZeroSkippedDesc.build_paper_config(), 2_000);
+    /// assert_eq!(r.hits + r.misses, r.accesses);
+    /// assert!(r.activity.htree_transitions > 0 && r.exec_time_s > 0.0);
+    /// ```
+    ///
     /// # Panics
     ///
     /// Panics if `accesses` is zero.

@@ -13,6 +13,11 @@
 //!   bucket index.
 //! - `spans` — drained trace spans in start-time order (wall-clock, so
 //!   durations vary run to run; counters never do).
+//!
+//! The full schema — key-by-key tables, a worked example, and the
+//! stability/versioning rules — is specified in `docs/REPORT_SCHEMA.md`
+//! at the repository root, and `tests/schema_doc.rs` keeps that
+//! document and this module in lockstep.
 
 use crate::json::Json;
 use crate::registry::{MetricValue, Snapshot};

@@ -1,0 +1,101 @@
+//! Pins `docs/REPORT_SCHEMA.md` to the code: the document's "Key
+//! index" block must list exactly the key paths a representative
+//! `desc-run-report/v1` report emits. If either side changes alone,
+//! this test fails — the schema document cannot drift silently.
+
+use desc_telemetry::{Json, Registry, Report, ReportMeta, Span};
+use std::collections::BTreeSet;
+
+/// Extracts the fenced block following the "## Key index" heading.
+fn documented_paths(doc: &str) -> BTreeSet<String> {
+    let index = doc.split("## Key index").nth(1).expect("doc has a Key index section");
+    let block = index.split("```").nth(1).expect("Key index has a fenced block");
+    block
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && *l != "text")
+        .map(|l| l.trim_end_matches('?').to_owned())
+        .collect()
+}
+
+/// Flattens an emitted report into the doc's path notation:
+/// `metrics.<actual name>` collapses to `metrics.<name>`, array
+/// elements to `[]`.
+fn emitted_paths(report: &Json) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    let Json::Obj(top) = report else { panic!("report is an object") };
+    for (key, value) in top {
+        match key.as_str() {
+            "meta" => {
+                let Json::Obj(meta) = value else { panic!("meta is an object") };
+                for (k, _) in meta {
+                    out.insert(format!("meta.{k}"));
+                }
+            }
+            "metrics" => {
+                let Json::Obj(metrics) = value else { panic!("metrics is an object") };
+                for (_, metric) in metrics {
+                    let Json::Obj(fields) = metric else { panic!("metric is an object") };
+                    for (k, _) in fields {
+                        out.insert(format!("metrics.<name>.{k}"));
+                    }
+                }
+            }
+            "spans" => {
+                for span in value.as_arr().expect("spans is an array") {
+                    let Json::Obj(fields) = span else { panic!("span is an object") };
+                    for (k, _) in fields {
+                        out.insert(format!("spans[].{k}"));
+                    }
+                }
+            }
+            other => {
+                out.insert(other.to_owned());
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn schema_document_matches_emitted_report() {
+    let doc_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../docs/REPORT_SCHEMA.md");
+    let doc = std::fs::read_to_string(doc_path).expect("docs/REPORT_SCHEMA.md exists");
+    let documented = documented_paths(&doc);
+
+    // A representative report exercising every metric type and a span,
+    // so every type-dependent (`?`) key is emitted.
+    let registry = Registry::new();
+    registry.counter("t.count").add(3);
+    registry.gauge("t.gauge").set(7);
+    registry.histogram("t.lat").record(42);
+    let report = Report {
+        meta: ReportMeta {
+            tool: "schema-doc-test".to_owned(),
+            version: "0.0.0".to_owned(),
+            seed: 2013,
+            scale: "tiny".to_owned(),
+            jobs: 2,
+            shards: 2,
+            experiments: vec!["fig23".to_owned()],
+        },
+        snapshot: registry.snapshot(),
+        spans: vec![Span {
+            name: "experiment",
+            label: "fig23".to_owned(),
+            start_us: 1,
+            duration_us: 2,
+        }],
+    };
+    let emitted = emitted_paths(&report.to_json());
+
+    assert_eq!(
+        documented, emitted,
+        "docs/REPORT_SCHEMA.md Key index disagrees with Report::to_json \
+         (left: documented, right: emitted)"
+    );
+    assert!(
+        doc.contains("desc-run-report/v1"),
+        "schema document must name the schema version"
+    );
+}
