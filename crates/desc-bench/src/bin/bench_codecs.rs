@@ -10,7 +10,7 @@
 //! `BENCH_ecc.json` in the shared history format (latest run in
 //! `results`, every run in `history`).
 
-use desc_bench::{append_history, best_rate};
+use desc_bench::{best_rate, Harness};
 use desc_core::Block;
 use desc_ecc::{InterleavedBlock, SecdedCode};
 use desc_telemetry::Json;
@@ -44,15 +44,14 @@ fn bench_secded(code: &SecdedCode, data: &[Vec<u8>]) -> (f64, f64) {
 }
 
 fn main() {
-    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_ecc.json".to_owned());
+    let mut harness = Harness::from_args("ecc_codecs", "BENCH_ecc.json");
     let mut stream = BenchmarkId::Ocean.profile().value_stream(2013);
     let blocks: Vec<Block> = (0..POOL).map(|_| stream.next_block()).collect();
 
-    let mut results = Vec::new();
     println!("{:<28} {:>16}", "codec", "ops/sec");
     let mut record = |name: &str, rate: f64| {
         println!("{name:<28} {rate:>16.0}");
-        results.push(
+        harness.push(
             Json::obj()
                 .with("codec", Json::Str(name.to_owned()))
                 .with("ops_per_sec", Json::Num(rate.round())),
@@ -87,12 +86,5 @@ fn main() {
         .with("workload", Json::Str("ocean value stream, seed 2013".to_owned()))
         .with("iters", Json::UInt(ITERS as u64))
         .with("reps", Json::UInt(REPS as u64));
-    match append_history(std::path::Path::new(&out_path), "ecc_codecs", config, Json::Arr(results))
-    {
-        Ok(()) => println!("\nwrote {out_path}"),
-        Err(e) => {
-            eprintln!("failed to write {out_path}: {e}");
-            std::process::exit(1);
-        }
-    }
+    harness.finish(config);
 }

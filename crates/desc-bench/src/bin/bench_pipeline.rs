@@ -3,7 +3,8 @@
 //! processor roll-up.
 //!
 //! ```text
-//! cargo run --release -p desc-bench --bin bench_pipeline [-- OUTPUT.json]
+//! cargo run --release -p desc-bench --bin bench_pipeline \
+//!     [-- OUTPUT.json] [--jobs N] [--shards A,B,C]
 //! ```
 //!
 //! Times `run_app` (one complete simulate-and-price cell, exactly what
@@ -12,11 +13,16 @@
 //! one S-NUCA-1 cell (`SnucaSim::run`, the fig23/fig24 unit) on the
 //! same shard axis, and appends simulated-accesses-per-second to
 //! `BENCH_pipeline.json` in the shared history format. Each entry
-//! records its `shards` axis so the history distinguishes serial from
-//! bank-sharded throughput; results are bit-identical across the
-//! axis, only wall-clock moves.
+//! records its `jobs` and `shards` axes so the history distinguishes
+//! serial from pooled throughput; results are bit-identical across
+//! both axes, only wall-clock moves.
+//!
+//! `--jobs N` sizes the process-wide `desc_exec` pool (a pool never
+//! shrinks, so sweeping jobs takes one process per value — see
+//! `scripts/bench_scaling.sh`); `--shards A,B,C` selects the shard
+//! counts to sweep (default `1,2,4,8`).
 
-use desc_bench::{append_history, best_rate};
+use desc_bench::{best_rate, Harness};
 use desc_core::schemes::SchemeKind;
 use desc_experiments::common::run_app;
 use desc_experiments::Scale;
@@ -28,33 +34,91 @@ use std::hint::black_box;
 const ACCESSES: usize = 4_000;
 const REPS: usize = 5;
 
+struct Args {
+    out_path: String,
+    jobs: usize,
+    shard_counts: Vec<usize>,
+}
+
+fn parse_args() -> Args {
+    let mut out_path = "BENCH_pipeline.json".to_owned();
+    let mut jobs = 1usize;
+    let mut shard_counts = vec![1, 2, 4, 8];
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--jobs" | "-j" => match iter.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) if n > 0 => jobs = n,
+                _ => {
+                    eprintln!("--jobs needs a positive integer argument");
+                    std::process::exit(1);
+                }
+            },
+            "--shards" => {
+                let parsed: Option<Vec<usize>> = iter
+                    .next()
+                    .map(|v| v.split(',').map(|s| s.trim().parse::<usize>().ok()).collect())
+                    .unwrap_or(None);
+                match parsed {
+                    Some(counts) if !counts.is_empty() && counts.iter().all(|&c| c > 0) => {
+                        shard_counts = counts;
+                    }
+                    _ => {
+                        eprintln!("--shards needs a comma-separated list of positive integers");
+                        std::process::exit(1);
+                    }
+                }
+            }
+            other if !other.starts_with('-') => out_path = other.to_owned(),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                std::process::exit(1);
+            }
+        }
+    }
+    Args { out_path, jobs, shard_counts }
+}
+
 fn main() {
-    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_pipeline.json".to_owned());
-    let scale = Scale { accesses: ACCESSES, apps: 1, seed: 2013, jobs: 1, shards: 1 };
+    let args = parse_args();
+    // The pool is sized by --jobs alone; shard counts only cap how many
+    // partition tasks run concurrently within it, so jobs=1 measures
+    // pure decomposition overhead with zero extra threads.
+    desc_exec::configure(args.jobs);
+    let mut harness = Harness::new("experiment_pipeline", args.out_path.clone());
+    let scale = Scale { accesses: ACCESSES, apps: 1, seed: 2013, jobs: args.jobs, shards: 1 };
     let profile = BenchmarkId::Ocean.profile();
 
-    let mut results = Vec::new();
-    println!("{:<24} {:>7} {:>14} {:>18}", "scheme", "shards", "cells/sec", "accesses/sec");
+    let jobs = args.jobs;
+    println!(
+        "{:<24} {:>5} {:>7} {:>14} {:>18}",
+        "scheme", "jobs", "shards", "cells/sec", "accesses/sec"
+    );
+    let record = |harness: &mut Harness, label: &str, shards: usize, cells_per_sec: f64| {
+        let accesses_per_sec = cells_per_sec * ACCESSES as f64;
+        println!("{label:<24} {jobs:>5} {shards:>7} {cells_per_sec:>14.2} {accesses_per_sec:>18.0}");
+        harness.push(
+            Json::obj()
+                .with("scheme", Json::Str(label.to_owned()))
+                .with("jobs", Json::UInt(jobs as u64))
+                .with("shards", Json::UInt(shards as u64))
+                .with("cells_per_sec", Json::Num((cells_per_sec * 100.0).round() / 100.0))
+                .with("accesses_per_sec", Json::Num(accesses_per_sec.round())),
+        );
+    };
+
     for (label, kind) in [
         ("conventional_binary", SchemeKind::ConventionalBinary),
         ("zero_skip_desc", SchemeKind::ZeroSkippedDesc),
     ] {
-        for shards in [1usize, 2, 4, 8] {
+        for &shards in &args.shard_counts {
             let scale = scale.with_shards(shards);
             // Warmup one cell, then time whole cells.
             black_box(run_app(kind, &profile, &scale).l2_energy());
             let cells_per_sec = best_rate(3, REPS, || {
                 black_box(run_app(kind, &profile, &scale).l2_energy());
             });
-            let accesses_per_sec = cells_per_sec * ACCESSES as f64;
-            println!("{label:<24} {shards:>7} {cells_per_sec:>14.2} {accesses_per_sec:>18.0}");
-            results.push(
-                Json::obj()
-                    .with("scheme", Json::Str(label.to_owned()))
-                    .with("shards", Json::UInt(shards as u64))
-                    .with("cells_per_sec", Json::Num((cells_per_sec * 100.0).round() / 100.0))
-                    .with("accesses_per_sec", Json::Num(accesses_per_sec.round())),
-            );
+            record(&mut harness, label, shards, cells_per_sec);
         }
     }
 
@@ -64,7 +128,7 @@ fn main() {
         ("snuca_conventional_binary", SchemeKind::ConventionalBinary),
         ("snuca_zero_skip_desc", SchemeKind::ZeroSkippedDesc),
     ] {
-        for shards in [1usize, 2, 4, 8] {
+        for &shards in &args.shard_counts {
             let mut cfg = SimConfig::paper_multithreaded();
             cfg.shards = shards;
             let sim = SnucaSim::new(cfg, profile, scale.seed);
@@ -72,32 +136,14 @@ fn main() {
             let cells_per_sec = best_rate(3, REPS, || {
                 black_box(sim.run(kind.build_paper_config(), ACCESSES).total_energy_j());
             });
-            let accesses_per_sec = cells_per_sec * ACCESSES as f64;
-            println!("{label:<24} {shards:>7} {cells_per_sec:>14.2} {accesses_per_sec:>18.0}");
-            results.push(
-                Json::obj()
-                    .with("scheme", Json::Str(label.to_owned()))
-                    .with("shards", Json::UInt(shards as u64))
-                    .with("cells_per_sec", Json::Num((cells_per_sec * 100.0).round() / 100.0))
-                    .with("accesses_per_sec", Json::Num(accesses_per_sec.round())),
-            );
+            record(&mut harness, label, shards, cells_per_sec);
         }
     }
 
     let config = Json::obj()
         .with("accesses_per_cell", Json::UInt(ACCESSES as u64))
         .with("workload", Json::Str("ocean profile, seed 2013".to_owned()))
+        .with("jobs", Json::UInt(jobs as u64))
         .with("reps", Json::UInt(REPS as u64));
-    match append_history(
-        std::path::Path::new(&out_path),
-        "experiment_pipeline",
-        config,
-        Json::Arr(results),
-    ) {
-        Ok(()) => println!("\nwrote {out_path}"),
-        Err(e) => {
-            eprintln!("failed to write {out_path}: {e}");
-            std::process::exit(1);
-        }
-    }
+    harness.finish(config);
 }

@@ -17,14 +17,13 @@
 //! then timed over several repetitions, keeping the best (least
 //! scheduler-disturbed) repetition.
 
-use desc_bench::append_history;
+use desc_bench::{best_rate, Harness};
 use desc_core::protocol::{Link, LinkConfig, TraceCapture};
 use desc_core::schemes::SkipMode;
 use desc_core::{Block, ChunkSize};
 use desc_telemetry::Json;
 use desc_workloads::BenchmarkId;
 use std::hint::black_box;
-use std::time::Instant;
 
 /// Pre-optimisation throughput on this harness's exact workload
 /// (recorded before the hot-path rework: `Vec<bool>` traces always
@@ -62,23 +61,18 @@ fn bench_mode(mode: SkipMode, blocks: &[Block]) -> f64 {
     for b in blocks {
         black_box(link.transfer(b).cost.cycles);
     }
-    let mut best = f64::MAX;
-    for _ in 0..REPS {
-        let start = Instant::now();
-        for i in 0..TRANSFERS_PER_REP {
-            black_box(link.transfer(&blocks[i % blocks.len()]).cost.cycles);
-        }
-        best = best.min(start.elapsed().as_secs_f64());
-    }
-    TRANSFERS_PER_REP as f64 / best
+    let mut i = 0usize;
+    best_rate(TRANSFERS_PER_REP, REPS, || {
+        black_box(link.transfer(&blocks[i % blocks.len()]).cost.cycles);
+        i += 1;
+    })
 }
 
 fn main() {
-    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_link.json".to_owned());
+    let mut harness = Harness::from_args("link_transfers", "BENCH_link.json");
     let mut stream = BenchmarkId::Ocean.profile().value_stream(2013);
     let blocks: Vec<Block> = (0..POOL).map(|_| stream.next_block()).collect();
 
-    let mut results = Vec::new();
     println!(
         "{:<16} {:>14} {:>14} {:>16} {:>8}",
         "mode", "baseline t/s", "current t/s", "current bytes/s", "speedup"
@@ -94,7 +88,7 @@ fn main() {
             tps * BLOCK_BYTES,
             speedup
         );
-        results.push(
+        harness.push(
             Json::obj()
                 .with("mode", Json::Str(mode_name(mode).to_owned()))
                 .with("baseline_transfers_per_sec", Json::UInt(baseline_tps as u64))
@@ -116,16 +110,5 @@ fn main() {
         .with("workload", Json::Str("ocean value stream, seed 2013".to_owned()))
         .with("transfers_per_rep", Json::UInt(TRANSFERS_PER_REP as u64))
         .with("reps", Json::UInt(REPS as u64));
-    match append_history(
-        std::path::Path::new(&out_path),
-        "link_transfers",
-        config,
-        Json::Arr(results),
-    ) {
-        Ok(()) => println!("\nwrote {out_path}"),
-        Err(e) => {
-            eprintln!("failed to write {out_path}: {e}");
-            std::process::exit(1);
-        }
-    }
+    harness.finish(config);
 }

@@ -87,6 +87,74 @@ pub fn best_rate(iters: usize, reps: usize, mut work: impl FnMut()) -> f64 {
     iters as f64 / best
 }
 
+/// Where this run's [`desc_exec`] pool tasks actually executed, for the
+/// `pool` stanza every bench config records: a history entry then
+/// documents its own concurrency, so serial and pooled runs are never
+/// compared blind.
+#[must_use]
+pub fn pool_stanza() -> Json {
+    let s = desc_exec::stats();
+    Json::obj()
+        .with("target", Json::UInt(s.target as u64))
+        .with("workers", Json::UInt(s.workers as u64))
+        .with("regions", Json::UInt(s.regions))
+        .with("tasks_executed", Json::UInt(s.tasks_executed))
+        .with("tasks_inline", Json::UInt(s.tasks_inline))
+        .with("tasks_helped", Json::UInt(s.tasks_helped))
+        .with("tasks_stolen", Json::UInt(s.tasks_stolen))
+}
+
+/// Shared scaffolding for the bench binaries: collects result rows,
+/// then writes benchmark + config (with the [`pool_stanza`] appended)
+/// + rows through [`append_history`] and exits non-zero on I/O error.
+pub struct Harness {
+    benchmark: &'static str,
+    out_path: String,
+    results: Vec<Json>,
+}
+
+impl Harness {
+    /// Creates a harness writing to `out_path`.
+    #[must_use]
+    pub fn new(benchmark: &'static str, out_path: String) -> Self {
+        Self { benchmark, out_path, results: Vec::new() }
+    }
+
+    /// Creates a harness writing to the first non-flag CLI argument,
+    /// or `default_out` when none is given.
+    #[must_use]
+    pub fn from_args(benchmark: &'static str, default_out: &str) -> Self {
+        let out_path = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'))
+            .unwrap_or_else(|| default_out.to_owned());
+        Self::new(benchmark, out_path)
+    }
+
+    /// Adds one result row to the run.
+    pub fn push(&mut self, row: Json) {
+        self.results.push(row);
+    }
+
+    /// Appends the run to the history file and reports the outcome;
+    /// exits the process with status 1 if the write fails.
+    pub fn finish(self, config: Json) {
+        let config = config.with("pool", pool_stanza());
+        match append_history(
+            Path::new(&self.out_path),
+            self.benchmark,
+            config,
+            Json::Arr(self.results),
+        ) {
+            Ok(()) => println!("\nwrote {}", self.out_path),
+            Err(e) => {
+                eprintln!("failed to write {}: {e}", self.out_path);
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -91,6 +91,13 @@ impl Block {
         &self.bytes
     }
 
+    /// The block contents as mutable bytes, for callers that refill a
+    /// block in place (e.g. a value stream reusing one scratch block
+    /// instead of allocating per draw).
+    pub fn as_bytes_mut(&mut self) -> &mut [u8] {
+        &mut self.bytes
+    }
+
     /// Length in bytes.
     #[must_use]
     pub fn byte_len(&self) -> usize {
@@ -277,6 +284,13 @@ mod tests {
         let mut b = Block::zeroed(2);
         b.set_bits(5, 7, 0b101_1010);
         assert_eq!(b.bits(5, 7), 0b101_1010);
+    }
+
+    #[test]
+    fn as_bytes_mut_refills_in_place() {
+        let mut b = Block::zeroed(2);
+        b.as_bytes_mut().copy_from_slice(&[0xAB, 0xCD]);
+        assert_eq!(b.as_bytes(), &[0xAB, 0xCD]);
     }
 
     #[test]

@@ -1,0 +1,653 @@
+//! Process-wide deterministic fork-join executor.
+//!
+//! Every parallel layer of the DESC reproduction shares **one** pool of
+//! persistent worker threads: `run_matrix` submits (config × app) cell
+//! tasks and `SystemSim`/`SnucaSim` submit bank-partition tasks into
+//! the same worker set, so `--jobs` and `--shards` *bound* concurrency
+//! instead of multiplying threads, and no hot path ever spawns an OS
+//! thread.
+//!
+//! # Task model
+//!
+//! A call to [`run`] (or [`run_mut`]) opens a **region**: `total`
+//! independent tasks identified by index `0..total`, a concurrency cap,
+//! and one result slot per index. The calling thread always
+//! participates — it claims and executes tasks alongside the workers —
+//! and blocks until every task in *its own* region has completed, then
+//! collects the slots in index order. With an empty pool (1-CPU
+//! machine, or before [`configure`] raises the target) a region
+//! degrades to a plain serial loop on the caller with no
+//! synchronisation at all.
+//!
+//! # Determinism is structural
+//!
+//! Workers claim task *indices* from a shared counter, so which thread
+//! runs which task is scheduling-dependent — but each task is a pure
+//! function of its index and each result lands in its index's slot.
+//! Merges that consume the returned `Vec` in order therefore see
+//! byte-identical inputs for any worker count, any cap, and any
+//! interleaving. Nothing downstream needs to reason about the pool.
+//!
+//! # Nested submission cannot deadlock
+//!
+//! A task may itself call [`run`] (a `run_matrix` cell running a
+//! sharded `SystemSim`). The nested caller helps execute its own
+//! region first and only then waits, so it can only block on tasks
+//! *claimed by other threads* — and a claimant never waits for work it
+//! has not finished: either it is executing a leaf task (which runs to
+//! completion) or it is itself a nested caller one level deeper. Every
+//! chain of waiting threads ends at a thread making progress, so the
+//! wait graph is well-founded for any pool size, including a pool of
+//! zero workers.
+//!
+//! # Example
+//!
+//! ```
+//! desc_exec::configure(2);
+//! let squares = desc_exec::run(8, 2, |i| i * i);
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+// This crate is the one place in the workspace that uses `unsafe`: it
+// erases closure lifetimes to hand borrowed task contexts to 'static
+// worker threads. Soundness rests on a single invariant, documented at
+// [`Region`]: the submitting call blocks until `done == total` before
+// its borrows go out of scope.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Snapshot of the pool's lifetime statistics, exposed so benchmark
+/// harnesses can stamp a `pool` stanza into their JSON output. These
+/// are *internal* atomics, deliberately kept out of the
+/// `desc-telemetry` registry: inline and pooled executions of the same
+/// workload take different code paths here, and run reports must stay
+/// byte-identical across `--jobs`/`--shards` settings.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PoolStats {
+    /// Concurrency target (caller + workers) the pool was configured
+    /// for; the high-water mark of every [`configure`] call.
+    pub target: usize,
+    /// Worker threads actually spawned (`target - 1`, lazily).
+    pub workers: usize,
+    /// Regions (fork-join scopes) executed through the pool.
+    pub regions: u64,
+    /// Tasks executed in total, on any thread.
+    pub tasks_executed: u64,
+    /// Tasks that ran on the serial fast path (no region opened).
+    pub tasks_inline: u64,
+    /// Tasks executed by their own submitting caller while helping.
+    pub tasks_helped: u64,
+    /// Tasks stolen by pool workers from a submitting caller.
+    pub tasks_stolen: u64,
+}
+
+/// One fork-join scope: `total` indexed tasks behind a type-erased
+/// entry point.
+///
+/// # Safety invariant
+///
+/// `ctx` points at a stack frame of the submitting caller. The caller
+/// blocks in [`Region::wait_done`] until `done == total` (completions
+/// are `Release`, the caller's read is `Acquire`), and every execution
+/// path — success, task panic, cancellation after a sibling's panic —
+/// increments `done` exactly once per task index. Therefore no thread
+/// can touch `ctx` after `wait_done` returns, and the erased lifetime
+/// never outlives the borrow it erased.
+struct Region {
+    task: unsafe fn(*const (), usize),
+    ctx: *const (),
+    total: usize,
+    cap: usize,
+    /// Next unclaimed task index; CAS-claimed so it never exceeds
+    /// `total` (which keeps the cancellation arithmetic on the panic
+    /// path exact).
+    next: AtomicUsize,
+    /// Threads currently executing tasks of this region (the caller
+    /// pre-counts as one); bounded by `cap`.
+    active: AtomicUsize,
+    /// Completed (or cancelled) task count; region is finished at
+    /// `done == total`.
+    done: AtomicUsize,
+    /// First panic payload raised by a task, if any.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    done_lock: Mutex<()>,
+    done_cv: Condvar,
+}
+
+// SAFETY: `ctx` is only dereferenced by `task` while the submitting
+// caller provably keeps the pointee alive (see the struct docs); all
+// other fields are Sync primitives.
+unsafe impl Send for Region {}
+unsafe impl Sync for Region {}
+
+impl Region {
+    fn new(task: unsafe fn(*const (), usize), ctx: *const (), total: usize, cap: usize) -> Self {
+        Region {
+            task,
+            ctx,
+            total,
+            cap,
+            next: AtomicUsize::new(0),
+            // The submitting caller counts as already active.
+            active: AtomicUsize::new(1),
+            done: AtomicUsize::new(0),
+            panic: Mutex::new(None),
+            done_lock: Mutex::new(()),
+            done_cv: Condvar::new(),
+        }
+    }
+
+    /// Cheap scan predicate for workers: unclaimed work exists and the
+    /// concurrency cap has headroom.
+    fn claimable(&self) -> bool {
+        self.next.load(Ordering::Relaxed) < self.total
+            && self.active.load(Ordering::Relaxed) < self.cap
+    }
+
+    /// Reserves an active slot; the loser of a race backs out.
+    fn try_enter(&self) -> bool {
+        if self.active.fetch_add(1, Ordering::Relaxed) >= self.cap {
+            self.active.fetch_sub(1, Ordering::Relaxed);
+            return false;
+        }
+        true
+    }
+
+    fn exit(&self) {
+        self.active.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// CAS-claims the next task index, never moving `next` past
+    /// `total`.
+    fn claim(&self) -> Option<usize> {
+        let mut cur = self.next.load(Ordering::Relaxed);
+        loop {
+            if cur >= self.total {
+                return None;
+            }
+            match self.next.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Some(cur),
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Claims and executes tasks until none are left, returning how
+    /// many this thread ran. A panicking task cancels the region's
+    /// remaining unclaimed tasks (accounting them as done so the
+    /// caller wakes) and records the first payload for re-raising on
+    /// the submitting thread.
+    fn execute_until_empty(&self) -> u64 {
+        let mut ran = 0u64;
+        while let Some(i) = self.claim() {
+            ran += 1;
+            // SAFETY: `i` was claimed exactly once and `ctx` is alive
+            // (struct invariant).
+            let outcome = catch_unwind(AssertUnwindSafe(|| unsafe { (self.task)(self.ctx, i) }));
+            match outcome {
+                Ok(()) => self.complete(1),
+                Err(payload) => {
+                    {
+                        let mut slot = self.panic.lock().unwrap_or_else(|e| e.into_inner());
+                        if slot.is_none() {
+                            *slot = Some(payload);
+                        }
+                    }
+                    let already = self.next.swap(self.total, Ordering::Relaxed);
+                    let cancelled = self.total - already.min(self.total);
+                    self.complete(1 + cancelled);
+                }
+            }
+        }
+        ran
+    }
+
+    /// Marks `k` tasks finished; the final completion wakes the
+    /// submitting caller. `Release` so the caller's `Acquire` read of
+    /// `done == total` orders every slot write before the collection.
+    fn complete(&self, k: usize) {
+        let before = self.done.fetch_add(k, Ordering::Release);
+        if before + k >= self.total {
+            // Taking the lock pairs with the caller's check-then-wait,
+            // closing the lost-wakeup window.
+            let _guard = self.done_lock.lock().unwrap_or_else(|e| e.into_inner());
+            self.done_cv.notify_all();
+        }
+    }
+
+    fn wait_done(&self) {
+        if self.done.load(Ordering::Acquire) >= self.total {
+            return;
+        }
+        let mut guard = self.done_lock.lock().unwrap_or_else(|e| e.into_inner());
+        while self.done.load(Ordering::Acquire) < self.total {
+            guard = self.done_cv.wait(guard).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn take_panic(&self) -> Option<Box<dyn std::any::Any + Send>> {
+        self.panic.lock().unwrap_or_else(|e| e.into_inner()).take()
+    }
+}
+
+struct Pool {
+    /// Currently open regions, in submission order; workers take the
+    /// first claimable one.
+    open: Mutex<Vec<Arc<Region>>>,
+    /// Signalled when a region is submitted or concurrency capacity
+    /// frees up.
+    work: Condvar,
+    target: AtomicUsize,
+    spawned: AtomicUsize,
+    regions: AtomicU64,
+    executed: AtomicU64,
+    inline: AtomicU64,
+    helped: AtomicU64,
+    stolen: AtomicU64,
+}
+
+impl Pool {
+    fn global() -> &'static Pool {
+        static POOL: OnceLock<Pool> = OnceLock::new();
+        POOL.get_or_init(|| Pool {
+            open: Mutex::new(Vec::new()),
+            work: Condvar::new(),
+            target: AtomicUsize::new(default_target()),
+            spawned: AtomicUsize::new(0),
+            regions: AtomicU64::new(0),
+            executed: AtomicU64::new(0),
+            inline: AtomicU64::new(0),
+            helped: AtomicU64::new(0),
+            stolen: AtomicU64::new(0),
+        })
+    }
+
+    /// Lazily brings the worker set up to `target - 1` threads (the
+    /// caller of every region is the remaining unit of concurrency).
+    /// Workers are never torn down; an idle worker is a parked thread.
+    fn ensure_workers(&'static self) {
+        let want = self.target.load(Ordering::Relaxed).saturating_sub(1);
+        let mut cur = self.spawned.load(Ordering::Relaxed);
+        while cur < want {
+            match self.spawned.compare_exchange(cur, cur + 1, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => {
+                    std::thread::Builder::new()
+                        .name(format!("desc-exec-{cur}"))
+                        .spawn(move || self.worker_loop())
+                        .expect("failed to spawn desc-exec worker");
+                    cur += 1;
+                }
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    fn worker_loop(&'static self) {
+        loop {
+            let region = {
+                let mut open = self.open.lock().unwrap_or_else(|e| e.into_inner());
+                loop {
+                    if let Some(r) = open.iter().find(|r| r.claimable()) {
+                        break Arc::clone(r);
+                    }
+                    open = self.work.wait(open).unwrap_or_else(|e| e.into_inner());
+                }
+            };
+            // The claimability check above ran under the lock, but the
+            // race with other claimants is resolved here; a loser just
+            // rescans (and sleeps if nothing else is claimable).
+            if region.try_enter() {
+                region.execute_until_empty();
+                region.exit();
+                // Leaving may free cap headroom for a sibling worker.
+                self.work.notify_all();
+            }
+        }
+    }
+
+    fn submit(&'static self, region: Arc<Region>) {
+        let mut open = self.open.lock().unwrap_or_else(|e| e.into_inner());
+        open.push(region);
+        drop(open);
+        self.work.notify_all();
+    }
+
+    fn retire(&'static self, region: &Arc<Region>) {
+        let mut open = self.open.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(pos) = open.iter().position(|r| Arc::ptr_eq(r, region)) {
+            open.swap_remove(pos);
+        }
+    }
+}
+
+/// Concurrency target before any [`configure`] call: the `DESC_JOBS`
+/// environment variable if set to a positive integer, otherwise
+/// [`std::thread::available_parallelism`].
+fn default_target() -> usize {
+    if let Ok(v) = std::env::var("DESC_JOBS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Raises the pool's concurrency target (caller + workers) to
+/// `threads` and spawns any missing workers. The pool never shrinks:
+/// the target is a process-lifetime high-water mark, so `--jobs` can
+/// only widen a run, and a target of 1 means a completely serial
+/// process with zero pool threads.
+///
+/// Records the `pool.workers` gauge when telemetry is enabled — the
+/// only registry metric this crate touches (see [`PoolStats`] for
+/// why).
+pub fn configure(threads: usize) {
+    let pool = Pool::global();
+    pool.target.fetch_max(threads.max(1), Ordering::Relaxed);
+    pool.ensure_workers();
+    if desc_telemetry::enabled() {
+        desc_telemetry::gauge!("pool.workers").record_max(pool.spawned.load(Ordering::Relaxed) as u64);
+    }
+}
+
+/// Current lifetime statistics of the process-wide pool.
+#[must_use]
+pub fn stats() -> PoolStats {
+    let pool = Pool::global();
+    PoolStats {
+        target: pool.target.load(Ordering::Relaxed),
+        workers: pool.spawned.load(Ordering::Relaxed),
+        regions: pool.regions.load(Ordering::Relaxed),
+        tasks_executed: pool.executed.load(Ordering::Relaxed),
+        tasks_inline: pool.inline.load(Ordering::Relaxed),
+        tasks_helped: pool.helped.load(Ordering::Relaxed),
+        tasks_stolen: pool.stolen.load(Ordering::Relaxed),
+    }
+}
+
+struct RunCtx<'a, T, F> {
+    f: &'a F,
+    slots: &'a [Slot<T>],
+}
+
+/// Runs `f(0)..f(total-1)` with at most `cap` tasks in flight at once
+/// (the caller included) and returns the results in index order —
+/// bit-identical to the serial loop for any pool size or schedule.
+///
+/// If any task panics, remaining unclaimed tasks are cancelled and the
+/// first panic is re-raised on the calling thread after every in-flight
+/// task has finished.
+///
+/// May be called from inside another `run` task (nested fork-join);
+/// see the crate docs for why this cannot deadlock.
+pub fn run<T, F>(total: usize, cap: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if total == 0 {
+        return Vec::new();
+    }
+    let pool = Pool::global();
+    let cap = cap.max(1).min(total);
+    if cap > 1 {
+        pool.ensure_workers();
+    }
+    if cap == 1 || pool.spawned.load(Ordering::Relaxed) == 0 {
+        pool.inline.fetch_add(total as u64, Ordering::Relaxed);
+        pool.executed.fetch_add(total as u64, Ordering::Relaxed);
+        return (0..total).map(f).collect();
+    }
+
+    unsafe fn fill_slot<T, F>(ctx: *const (), i: usize)
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        // SAFETY: `ctx` points at the `RunCtx` on the submitting
+        // caller's stack, alive until its `wait_done` returns (Region
+        // invariant); each index is claimed exactly once, so the slot
+        // write is unaliased.
+        let ctx = unsafe { &*ctx.cast::<RunCtx<'_, T, F>>() };
+        let value = (ctx.f)(i);
+        unsafe { ctx.slots[i].write(value) };
+    }
+
+    let mut slots: Vec<Slot<T>> = Vec::new();
+    slots.resize_with(total, Slot::new);
+    let panicked = {
+        let ctx = RunCtx { f: &f, slots: &slots };
+        let region = Arc::new(Region::new(
+            fill_slot::<T, F>,
+            &ctx as *const RunCtx<'_, T, F> as *const (),
+            total,
+            cap,
+        ));
+        pool.submit(Arc::clone(&region));
+        let mine = region.execute_until_empty();
+        region.exit();
+        // Our departure frees cap headroom; wake scanners.
+        pool.work.notify_all();
+        region.wait_done();
+        pool.retire(&region);
+        pool.regions.fetch_add(1, Ordering::Relaxed);
+        pool.executed.fetch_add(total as u64, Ordering::Relaxed);
+        pool.helped.fetch_add(mine, Ordering::Relaxed);
+        pool.stolen.fetch_add(total as u64 - mine, Ordering::Relaxed);
+        region.take_panic()
+    };
+    if let Some(payload) = panicked {
+        resume_unwind(payload);
+    }
+    slots
+        .into_iter()
+        .map(|mut s| s.take().expect("completed region left an empty slot"))
+        .collect()
+}
+
+struct MutCtx<'a, S, F> {
+    f: &'a F,
+    base: *mut S,
+    _marker: std::marker::PhantomData<&'a mut [S]>,
+}
+
+/// Runs `f(i, &mut states[i])` for every index with at most `cap`
+/// tasks in flight, in place — the mutable-state twin of [`run`] used
+/// for buffers that persist across repeated passes (e.g. the timing
+/// fixed-point). Panic and determinism semantics match [`run`].
+pub fn run_mut<S, F>(states: &mut [S], cap: usize, f: F)
+where
+    S: Send,
+    F: Fn(usize, &mut S) + Sync,
+{
+    let total = states.len();
+    if total == 0 {
+        return;
+    }
+    let pool = Pool::global();
+    let cap = cap.max(1).min(total);
+    if cap > 1 {
+        pool.ensure_workers();
+    }
+    if cap == 1 || pool.spawned.load(Ordering::Relaxed) == 0 {
+        pool.inline.fetch_add(total as u64, Ordering::Relaxed);
+        pool.executed.fetch_add(total as u64, Ordering::Relaxed);
+        for (i, s) in states.iter_mut().enumerate() {
+            f(i, s);
+        }
+        return;
+    }
+
+    unsafe fn call_mut<S, F>(ctx: *const (), i: usize)
+    where
+        S: Send,
+        F: Fn(usize, &mut S) + Sync,
+    {
+        // SAFETY: `ctx` is alive until the caller's `wait_done`
+        // returns (Region invariant); indices are claimed exactly
+        // once, so `base.add(i)` is a unique `&mut` into the slice.
+        let ctx = unsafe { &*ctx.cast::<MutCtx<'_, S, F>>() };
+        let state = unsafe { &mut *ctx.base.add(i) };
+        (ctx.f)(i, state);
+    }
+
+    let panicked = {
+        let ctx =
+            MutCtx { f: &f, base: states.as_mut_ptr(), _marker: std::marker::PhantomData };
+        let region = Arc::new(Region::new(
+            call_mut::<S, F>,
+            &ctx as *const MutCtx<'_, S, F> as *const (),
+            total,
+            cap,
+        ));
+        pool.submit(Arc::clone(&region));
+        let mine = region.execute_until_empty();
+        region.exit();
+        pool.work.notify_all();
+        region.wait_done();
+        pool.retire(&region);
+        pool.regions.fetch_add(1, Ordering::Relaxed);
+        pool.executed.fetch_add(total as u64, Ordering::Relaxed);
+        pool.helped.fetch_add(mine, Ordering::Relaxed);
+        pool.stolen.fetch_add(total as u64 - mine, Ordering::Relaxed);
+        region.take_panic()
+    };
+    if let Some(payload) = panicked {
+        resume_unwind(payload);
+    }
+}
+
+/// One result cell, written at most once by whichever thread claims
+/// its index. This is the lock-free replacement for the old
+/// per-partition `Mutex<&mut Option<T>>` pattern: disjoint indices
+/// need no mutual exclusion, only a happens-before edge, which the
+/// region's `done` counter provides.
+struct Slot<T> {
+    written: AtomicBool,
+    value: UnsafeCell<MaybeUninit<T>>,
+}
+
+// SAFETY: a slot is written by exactly one claimant and read only by
+// the submitting caller after the region's Release/Acquire completion
+// handshake.
+unsafe impl<T: Send> Sync for Slot<T> {}
+
+impl<T> Slot<T> {
+    fn new() -> Self {
+        Slot { written: AtomicBool::new(false), value: UnsafeCell::new(MaybeUninit::uninit()) }
+    }
+
+    /// # Safety
+    /// Must be called at most once per slot, from the unique claimant
+    /// of its index.
+    unsafe fn write(&self, value: T) {
+        unsafe { (*self.value.get()).write(value) };
+        self.written.store(true, Ordering::Release);
+    }
+
+    fn take(&mut self) -> Option<T> {
+        if *self.written.get_mut() {
+            *self.written.get_mut() = false;
+            // SAFETY: the flag says the value was initialised, and
+            // clearing it transfers ownership to us.
+            Some(unsafe { (*self.value.get()).assume_init_read() })
+        } else {
+            None
+        }
+    }
+}
+
+impl<T> Drop for Slot<T> {
+    fn drop(&mut self) {
+        if *self.written.get_mut() {
+            // SAFETY: initialised and never taken (cancelled region).
+            unsafe { (*self.value.get()).assume_init_drop() };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_arrive_in_index_order_for_any_cap() {
+        configure(4);
+        let expect: Vec<usize> = (0..100).map(|i| i * i).collect();
+        for cap in [1, 2, 3, 8, 64, 200] {
+            assert_eq!(run(100, cap, |i| i * i), expect, "cap={cap}");
+        }
+    }
+
+    #[test]
+    fn zero_and_single_task_regions() {
+        configure(4);
+        assert!(run(0, 8, |i| i).is_empty());
+        assert_eq!(run(1, 8, |i| i + 41), vec![41]);
+    }
+
+    #[test]
+    fn nested_regions_complete_and_stay_deterministic() {
+        configure(4);
+        let expect: Vec<usize> =
+            (0..6).map(|c| (0..12).map(|p| c * 100 + p).sum::<usize>()).collect();
+        for _ in 0..20 {
+            let got = run(6, 4, |c| run(12, 3, |p| c * 100 + p).into_iter().sum::<usize>());
+            assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    fn run_mut_updates_every_state_in_place() {
+        configure(4);
+        for cap in [1, 2, 8] {
+            let mut states: Vec<u64> = (0..50).collect();
+            run_mut(&mut states, cap, |i, s| *s += i as u64 * 10);
+            let expect: Vec<u64> = (0..50).map(|i| i + i * 10).collect();
+            assert_eq!(states, expect, "cap={cap}");
+        }
+    }
+
+    #[test]
+    fn task_panic_propagates_to_caller_and_pool_survives() {
+        configure(4);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            run(64, 4, |i| {
+                if i == 17 {
+                    panic!("boom at {i}");
+                }
+                i
+            })
+        }));
+        assert!(result.is_err(), "panic must reach the submitting caller");
+        // The pool must not be wedged by the cancelled region.
+        let expect: Vec<usize> = (0..32).map(|i| i * 3).collect();
+        assert_eq!(run(32, 4, |i| i * 3), expect);
+    }
+
+    #[test]
+    fn stats_count_tasks() {
+        configure(2);
+        let before = stats();
+        let _ = run(10, 1, |i| i); // cap 1 -> inline path
+        let _ = run(10, 4, |i| i);
+        let after = stats();
+        assert!(after.tasks_executed >= before.tasks_executed + 20);
+        assert!(after.tasks_inline >= before.tasks_inline + 10);
+        assert!(after.workers >= 1);
+    }
+}

@@ -87,10 +87,11 @@ fn main() -> ExitCode {
                 println!(
                     "usage: repro [--quick|--tiny] [--csv] [--seed N] [--accesses N] [--apps N] \
                      [--jobs N] [--shards N] [--report PATH] <experiment...|all>\n\
-                     --jobs N      spread (app x scheme) sweeps over N threads; results are\n\
+                     --jobs N      run up to N sweep cells concurrently; results are\n\
                      bit-identical for any N (default: all hardware threads)\n\
-                     --shards N    simulate each cell's L2 banks on N threads; results are\n\
-                     bit-identical for any N (default: 1)\n\
+                     --shards N    run up to N of each cell's bank partitions concurrently;\n\
+                     bit-identical for any N (default: 1). jobs and shards\n\
+                     are caps on one shared pool and never multiply threads\n\
                      --report PATH enable telemetry and write a machine-readable JSON run\n\
                      report (counters, histograms, spans); defaults to all experiments\n\
                      experiments: {}",
@@ -126,6 +127,11 @@ fn main() -> ExitCode {
     if report_path.is_some() {
         desc_telemetry::set_enabled(true);
     }
+    // Size the shared pool once telemetry state is settled. `--jobs`
+    // sets the pool size; `--shards` only caps how many of a cell's
+    // bank partitions run concurrently *within* that pool — the two
+    // never multiply, so the process runs at most `jobs` sim threads.
+    desc_exec::configure(scale.jobs);
     for name in &names {
         let started = Instant::now();
         let table = {

@@ -19,16 +19,18 @@ pub struct Scale {
     pub apps: usize,
     /// Master seed for all deterministic generators.
     pub seed: u64,
-    /// Worker threads for (app × configuration) sweeps. Every cell is
-    /// seeded independently from `seed`, so results are bit-identical
-    /// for any job count; `1` runs serially. `0` is treated as `1`.
+    /// Concurrency cap for (app × configuration) sweep cells on the
+    /// process-wide [`desc_exec`] pool. Every cell is seeded
+    /// independently from `seed`, so results are bit-identical for any
+    /// job count; `1` runs cells inline. `0` is treated as `1`.
     pub jobs: usize,
-    /// Worker threads *inside* each simulation cell (bank-sharded
-    /// execution; see [`desc_sim::SimConfig::shards`]). The decomposition
+    /// Concurrency cap for bank partitions *inside* each simulation
+    /// cell (see [`desc_sim::SimConfig::shards`]). The decomposition
     /// unit is the L2 bank, fixed by the machine config, so results are
     /// bit-identical for any shard count; `0`/`1` run each cell
-    /// serially. Composes with `jobs`: a sweep may run `jobs × shards`
-    /// threads at peak.
+    /// serially. `jobs` and `shards` are both caps on the same
+    /// fixed-size pool — they bound concurrency but never multiply
+    /// thread counts.
     pub shards: usize,
 }
 
@@ -164,8 +166,9 @@ pub fn run_app(kind: SchemeKind, profile: &BenchmarkProfile, scale: &Scale) -> A
     )
 }
 
-/// Runs every cell of a (row × configuration) sweep, fanned across
-/// `scale.jobs` worker threads.
+/// Runs every cell of a (row × configuration) sweep on the
+/// process-wide [`desc_exec`] pool, with at most `scale.jobs` cells in
+/// flight at once.
 ///
 /// Both axes are generic: `rows` is usually the benchmark suite but
 /// can be any per-row parameter (device classes, sweep points), and
@@ -175,10 +178,12 @@ pub fn run_app(kind: SchemeKind, profile: &BenchmarkProfile, scale: &Scale) -> A
 /// `cell(config, row)` must derive everything from its arguments and
 /// `scale.seed` (as [`run_app`]/[`run_custom`] do — each cell
 /// constructs its own independently seeded simulation), so the result
-/// is **bit-identical to the serial loop for any job count**: the
-/// thread schedule only decides *which* worker computes a cell, never
-/// its value, and cells are collected by index. Results are indexed
-/// `[row][config]`.
+/// is **bit-identical to the serial loop for any job count**: the pool
+/// schedule only decides *which* thread computes a cell, never its
+/// value, and each cell writes its own result slot. Cells may submit
+/// nested partition regions (`SimConfig::shards > 1`) onto the same
+/// pool without deadlock — blocked submitters help execute. Results
+/// are indexed `[row][config]`.
 ///
 /// When telemetry is enabled each cell records a `"cell"` span
 /// (label `c<config>.r<row>`), so `repro --report` shows per-cell
@@ -192,49 +197,17 @@ where
     R: Send,
     F: Fn(&C, &P) -> R + Sync,
 {
-    let timed_cell = |c: usize, p: usize| -> R {
+    let n_cells = rows.len() * configs.len();
+    let cells = desc_exec::run(n_cells, scale.jobs.max(1), |i| {
+        let (p, c) = (i / configs.len(), i % configs.len());
         let _span = desc_telemetry::enabled()
             .then(|| desc_telemetry::span("cell", format!("c{c}.r{p}")));
         cell(&configs[c], &rows[p])
-    };
-    let n_cells = rows.len() * configs.len();
-    let jobs = scale.jobs.max(1).min(n_cells.max(1));
-    if jobs <= 1 {
-        return (0..rows.len())
-            .map(|p| (0..configs.len()).map(|c| timed_cell(c, p)).collect())
-            .collect();
-    }
-    let mut slots: Vec<Option<R>> = Vec::new();
-    slots.resize_with(n_cells, || None);
-    {
-        // Hand each worker a disjoint set of slots via a work queue;
-        // a slot index identifies its (row, config) pair.
-        let slot_refs: Vec<std::sync::Mutex<&mut Option<R>>> =
-            slots.iter_mut().map(std::sync::Mutex::new).collect();
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        std::thread::scope(|s| {
-            for _ in 0..jobs {
-                s.spawn(|| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= n_cells {
-                        break;
-                    }
-                    let (p, c) = (i / configs.len(), i % configs.len());
-                    let run = timed_cell(c, p);
-                    **slot_refs[i].lock().expect("worker panicked") = Some(run);
-                });
-            }
-        });
-    }
+    });
     let mut out = Vec::with_capacity(rows.len());
-    let mut it = slots.into_iter();
+    let mut it = cells.into_iter();
     for _ in 0..rows.len() {
-        out.push(
-            it.by_ref()
-                .take(configs.len())
-                .map(|r| r.expect("every sweep cell is computed exactly once"))
-                .collect(),
-        );
+        out.push(it.by_ref().take(configs.len()).collect());
     }
     out
 }

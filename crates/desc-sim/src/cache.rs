@@ -50,7 +50,11 @@ struct Line {
 /// ```
 #[derive(Clone, Debug)]
 pub struct SetAssocCache {
-    sets: Vec<Vec<Line>>,
+    /// All lines in one flat allocation, `ways` consecutive entries
+    /// per set — the directory is scanned on every simulated access,
+    /// so contiguity (and not re-allocating per bank slice) matters.
+    lines: Vec<Line>,
+    ways: usize,
     block_bytes: u64,
     set_shift: u32,
     /// Mask over the *global* set index (full-cache set count − 1),
@@ -77,14 +81,10 @@ impl SetAssocCache {
     /// a power-of-two multiple of `block_bytes × ways`).
     #[must_use]
     pub fn new(capacity_bytes: usize, block_bytes: usize, ways: usize) -> Self {
-        assert!(capacity_bytes > 0 && block_bytes > 0 && ways > 0, "degenerate geometry");
-        let blocks = capacity_bytes / block_bytes;
-        assert!(blocks >= ways, "capacity below one set");
-        let set_count = blocks / ways;
-        assert!(set_count.is_power_of_two(), "set count {set_count} must be a power of two");
-        assert!(block_bytes.is_power_of_two(), "block size must be a power of two");
+        let set_count = Self::checked_set_count(capacity_bytes, block_bytes, ways);
         Self {
-            sets: vec![vec![Line::default(); ways]; set_count],
+            lines: vec![Line::default(); set_count * ways],
+            ways,
             block_bytes: block_bytes as u64,
             set_shift: block_bytes.trailing_zeros(),
             set_mask: (set_count - 1) as u64,
@@ -93,6 +93,17 @@ impl SetAssocCache {
             clock: 0,
             invalidations: 0,
         }
+    }
+
+    /// Validates the geometry and returns the full-cache set count.
+    fn checked_set_count(capacity_bytes: usize, block_bytes: usize, ways: usize) -> usize {
+        assert!(capacity_bytes > 0 && block_bytes > 0 && ways > 0, "degenerate geometry");
+        let blocks = capacity_bytes / block_bytes;
+        assert!(blocks >= ways, "capacity below one set");
+        let set_count = blocks / ways;
+        assert!(set_count.is_power_of_two(), "set count {set_count} must be a power of two");
+        assert!(block_bytes.is_power_of_two(), "block size must be a power of two");
+        set_count
     }
 
     /// Creates the directory slice owned by one bank of a
@@ -120,22 +131,30 @@ impl SetAssocCache {
         banks: usize,
         bank: usize,
     ) -> Self {
-        let full = Self::new(capacity_bytes, block_bytes, ways);
-        let set_count = full.sets.len();
+        // The slice allocates only its own sets — a 128-bank S-NUCA
+        // run builds 128 slices per cell, so constructing (and then
+        // discarding) the full directory here would dominate setup.
+        let set_count = Self::checked_set_count(capacity_bytes, block_bytes, ways);
         assert!(banks.is_power_of_two(), "bank count {banks} must be a power of two");
         assert!(banks <= set_count, "bank count {banks} exceeds set count {set_count}");
         assert!(bank < banks, "bank {bank} out of range");
         Self {
-            sets: vec![vec![Line::default(); ways]; set_count / banks],
+            lines: vec![Line::default(); (set_count / banks) * ways],
+            ways,
+            block_bytes: block_bytes as u64,
+            set_shift: block_bytes.trailing_zeros(),
+            set_mask: (set_count - 1) as u64,
+            tag_shift: set_count.trailing_zeros(),
             slice_shift: banks.trailing_zeros(),
-            ..full
+            clock: 0,
+            invalidations: 0,
         }
     }
 
     /// Number of sets.
     #[must_use]
     pub fn set_count(&self) -> usize {
-        self.sets.len()
+        self.lines.len() / self.ways
     }
 
     /// Looks up `addr`, allocating on miss (LRU victim), marking dirty
@@ -145,7 +164,8 @@ impl SetAssocCache {
         let block = addr >> self.set_shift;
         let set_index = ((block & self.set_mask) >> self.slice_shift) as usize;
         let tag = block >> self.tag_shift;
-        let set = &mut self.sets[set_index];
+        let base = set_index * self.ways;
+        let set = &mut self.lines[base..base + self.ways];
 
         if let Some(line) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
             line.stamp = self.clock;

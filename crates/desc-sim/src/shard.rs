@@ -1,53 +1,49 @@
-//! Worker-pool plumbing for bank-sharded simulation.
+//! Bank-partition execution on the process-wide executor.
 //!
 //! One simulation cell decomposes into independent bank partitions
 //! (see [`crate::system::SystemSim`] for the UCA machine and
-//! [`crate::snuca::SnucaSim`] for S-NUCA-1); this module runs the
-//! partition closures on up to `threads` scoped worker threads and
-//! returns the results **in partition order**, so callers can merge
-//! them with a deterministic reduction. With `threads <= 1` the partitions run
-//! serially on the calling thread — no pool, no synchronisation.
+//! [`crate::snuca::SnucaSim`] for S-NUCA-1); this module submits the
+//! partition closures to the shared [`desc_exec`] pool with
+//! [`crate::config::SimConfig::shards`] as the region's concurrency
+//! cap, and returns results **in partition order** so callers can
+//! merge them with a deterministic reduction.
+//!
+//! `shards` is a *cap*, not a thread count: partitions run on the same
+//! fixed worker set that executes `run_matrix` sweep cells, so a
+//! sweep of sharded cells never oversubscribes the machine, and no
+//! simulation ever spawns a thread. With a cap of 1 — or an empty pool
+//! (1-CPU machine) — the partitions run serially on the calling
+//! thread with no synchronisation at all.
 //!
 //! The partition function is pure with respect to ordering (each
 //! partition touches only its own state), so results are bit-identical
 //! for any thread count; the pool only changes wall-clock time.
+//! Results are delivered through the executor's per-index slots (no
+//! per-partition lock), and a panicking partition is re-raised on the
+//! submitting thread after the region drains, instead of poisoning a
+//! mutex.
 
-/// Runs `part_fn(0..parts)` on up to `threads` worker threads and
-/// returns the results indexed by partition.
-///
-/// Work is handed out through an atomic counter, so an arbitrary
-/// worker may run an arbitrary partition; determinism comes from each
-/// result landing in its partition's slot regardless of which worker
-/// produced it.
+/// Runs `part_fn(0..parts)` with at most `threads` partitions in
+/// flight on the shared pool and returns the results indexed by
+/// partition.
 pub(crate) fn run_parts<T, F>(parts: usize, threads: usize, part_fn: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    let threads = threads.max(1).min(parts.max(1));
-    if threads <= 1 {
-        return (0..parts).map(part_fn).collect();
-    }
-    let mut slots: Vec<Option<T>> = Vec::new();
-    slots.resize_with(parts, || None);
-    {
-        let slot_refs: Vec<std::sync::Mutex<&mut Option<T>>> =
-            slots.iter_mut().map(std::sync::Mutex::new).collect();
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        std::thread::scope(|s| {
-            for _ in 0..threads {
-                s.spawn(|| loop {
-                    let p = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if p >= parts {
-                        break;
-                    }
-                    let out = part_fn(p);
-                    **slot_refs[p].lock().expect("worker panicked") = Some(out);
-                });
-            }
-        });
-    }
-    slots.into_iter().map(|s| s.expect("all partitions completed")).collect()
+    desc_exec::run(parts, threads, part_fn)
+}
+
+/// In-place twin of [`run_parts`] for per-partition state that
+/// persists across repeated passes (the timing fixed-point): runs
+/// `part_fn(p, &mut states[p])` for every partition with at most
+/// `threads` in flight.
+pub(crate) fn run_parts_mut<S, F>(states: &mut [S], threads: usize, part_fn: F)
+where
+    S: Send,
+    F: Fn(usize, &mut S) + Sync,
+{
+    desc_exec::run_mut(states, threads, part_fn);
 }
 
 #[cfg(test)]
@@ -56,6 +52,7 @@ mod tests {
 
     #[test]
     fn results_arrive_in_partition_order_for_any_thread_count() {
+        desc_exec::configure(4);
         let expect: Vec<usize> = (0..13).map(|p| p * p).collect();
         for threads in [1, 2, 3, 8, 32] {
             assert_eq!(run_parts(13, threads, |p| p * p), expect, "threads={threads}");
@@ -65,5 +62,16 @@ mod tests {
     #[test]
     fn zero_parts_is_empty() {
         assert!(run_parts(0, 4, |p| p).is_empty());
+    }
+
+    #[test]
+    fn run_parts_mut_reuses_state_across_passes() {
+        desc_exec::configure(4);
+        let mut states = vec![0u64; 9];
+        for pass in 1..=3u64 {
+            run_parts_mut(&mut states, 4, |p, s| *s += pass * 100 + p as u64);
+        }
+        let expect: Vec<u64> = (0..9).map(|p| 600 + 3 * p).collect();
+        assert_eq!(states, expect);
     }
 }

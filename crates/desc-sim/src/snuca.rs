@@ -168,16 +168,28 @@ impl SnucaSim {
         let parts = if banks_n.is_power_of_two() && banks_n <= set_count { banks_n } else { 1 };
         let threads = cfg.shards.max(1);
 
-        // The trace is materialised once and shared read-only: trace
-        // generation is one sequential RNG stream, so partitions
-        // filter the common trace by home bank instead of
-        // regenerating it. Warmup (directory only — no transfers, no
-        // energy) brings the directory to steady state.
+        // The trace is generated once (one sequential RNG stream) and
+        // bucketed by owning partition *during* generation: with 128
+        // bank partitions, the old shared-trace-plus-`owns()`-filter
+        // approach re-scanned the full trace 128 times per cell, which
+        // dominated S-NUCA wall-clock. Warmup (directory only — no
+        // transfers, no energy) brings the directory to steady state.
         let warmup = (2 * capacity_blocks).max(accesses);
+        assert!(accesses < u32::MAX as usize, "measured window exceeds u32 program indices");
         let mut trace_gen = self.profile.trace(self.seed);
-        let trace: Vec<Access> =
-            (0..warmup + accesses).map(|_| trace_gen.next_access()).collect();
-        let (warm, measured) = trace.split_at(warmup);
+        let mut warm_parts: Vec<Vec<Access>> =
+            (0..parts).map(|_| Vec::with_capacity(warmup / parts + warmup / 16 + 8)).collect();
+        let mut meas_parts: Vec<Vec<(u32, Access)>> =
+            (0..parts).map(|_| Vec::with_capacity(accesses / parts + accesses / 16 + 8)).collect();
+        for i in 0..warmup + accesses {
+            let a = trace_gen.next_access();
+            let p = home_bank(a.addr, block_bytes, banks_n) % parts;
+            if i < warmup {
+                warm_parts[p].push(a);
+            } else {
+                meas_parts[p].push(((i - warmup) as u32, a));
+            }
+        }
 
         // One channel replica per bank, cloned up front on this thread
         // (`clone_box` borrows the template); each partition takes its
@@ -224,12 +236,9 @@ impl SnucaSim {
                     })
                     .collect();
             let mut sched = BankScheduler::new(banks_n);
-            let owns = |bank: usize| bank % parts == p;
 
-            for &Access { addr, write, core } in warm {
-                if owns(home_bank(addr, block_bytes, banks_n)) {
-                    let _ = l2.access(addr, write, core);
-                }
+            for &Access { addr, write, core } in &warm_parts[p] {
+                let _ = l2.access(addr, write, core);
             }
 
             let mut out = PartitionOut {
@@ -244,13 +253,10 @@ impl SnucaSim {
                 events: Vec::new(),
                 hit_latency_hist: desc_telemetry::LocalHistogram::new(),
             };
-            for (i, &Access { addr, write, core }) in measured.iter().enumerate() {
+            for &(i, Access { addr, write, core }) in &meas_parts[p] {
                 let bank = home_bank(addr, block_bytes, banks_n);
-                if !owns(bank) {
-                    continue;
-                }
                 let wire_lat = model.bank_latency_cycles(bank);
-                let arrival = (i as f64 * base_cpa) as u64;
+                let arrival = (f64::from(i) * base_cpa) as u64;
                 out.array_energy_j += cache_model.tag_access_energy();
 
                 // (occupancy cycles, effective latency cycles) — the
@@ -263,8 +269,9 @@ impl SnucaSim {
                     desc_workloads::ValueStream,
                 )]| -> (u64, u64) {
                     let (scheme, values) = &mut channels[bank / parts];
-                    let block = values.next_block();
-                    let cost = scheme.transfer(&block);
+                    // Borrow the stream's internal scratch block — no
+                    // per-transfer allocation, identical bytes.
+                    let cost = scheme.transfer(values.next_block_ref());
                     let transitions = cost.total_transitions();
                     out.transitions += transitions;
                     out.wire_energy_j +=
@@ -296,7 +303,7 @@ impl SnucaSim {
                         }
                         let (start, queue) = sched.schedule(bank, arrival, service);
                         out.events.push(MissEvent {
-                            idx: i as u64,
+                            idx: u64::from(i),
                             addr,
                             issue: start + ARRAY_CYCLES + wire_lat,
                             arrival,
@@ -459,6 +466,7 @@ mod tests {
         // worker-thread count, so results must be bit-identical for
         // any shard count, including with a stateful last-value
         // scheme whose wire state evolves per channel.
+        desc_exec::configure(4);
         for (kind, seed) in [
             (SchemeKind::ZeroSkippedDesc, 2013u64),
             (SchemeKind::LastValueSkippedDesc, 99),

@@ -22,7 +22,7 @@ use crate::bank::{home_bank, BankScheduler};
 use crate::cache::{CacheOutcome, SetAssocCache};
 use crate::config::SimConfig;
 use crate::dram::Dram;
-use crate::shard::run_parts;
+use crate::shard::{run_parts, run_parts_mut};
 use desc_cacti::cache::CacheActivity;
 use desc_cacti::CacheModel;
 use desc_core::wire::Bus;
@@ -102,8 +102,13 @@ struct PartitionSim {
     hit_latency_hist: desc_telemetry::LocalHistogram,
 }
 
-/// One bank partition's output for one timing pass.
+/// One bank partition's timing-pass state. Allocated once per run and
+/// reused across the fixed-point passes — each pass clears and refills
+/// the buffers in place instead of reallocating them per partition per
+/// pass.
 struct PartitionPass {
+    /// Per-bank port occupancy, reset at the start of each pass.
+    sched: BankScheduler,
     /// Per-record latency (queue + base; DRAM extra added at the epoch
     /// barrier), parallel to the partition's `records`.
     lat: Vec<u64>,
@@ -197,10 +202,12 @@ impl SystemSim {
         let parts = if banks_n.is_power_of_two() && banks_n <= set_count { banks_n } else { 1 };
         let threads = cfg.shards.max(1);
 
-        // The trace is materialised once and shared read-only by all
-        // partitions: trace generation is inherently sequential (one
-        // RNG stream), so each partition filters the common trace by
-        // home bank instead of regenerating it.
+        // The trace is generated once (one sequential RNG stream) and
+        // bucketed by owning partition *during* generation, so the
+        // functional phase touches every access exactly once
+        // process-wide — previously each partition re-scanned the
+        // whole shared trace through an `owns()` filter, which cost
+        // `parts × (warmup + accesses)` predicate checks per cell.
         //
         // Warmup brings the directory to steady state so measurements
         // exclude cold-start compulsory misses (the paper runs
@@ -208,10 +215,21 @@ impl SystemSim {
         // window). Warmup touches the directory only — no transfers,
         // no energy.
         let warmup = (2 * capacity_blocks).max(accesses);
+        assert!(accesses < u32::MAX as usize, "measured window exceeds u32 program indices");
         let mut trace_gen = self.profile.trace(self.seed);
-        let trace: Vec<Access> =
-            (0..warmup + accesses).map(|_| trace_gen.next_access()).collect();
-        let (warm, measured) = trace.split_at(warmup);
+        let mut warm_parts: Vec<Vec<Access>> =
+            (0..parts).map(|_| Vec::with_capacity(warmup / parts + warmup / 16 + 8)).collect();
+        let mut meas_parts: Vec<Vec<(u32, Access)>> =
+            (0..parts).map(|_| Vec::with_capacity(accesses / parts + accesses / 16 + 8)).collect();
+        for i in 0..warmup + accesses {
+            let a = trace_gen.next_access();
+            let p = home_bank(a.addr, block_bytes, banks_n) % parts;
+            if i < warmup {
+                warm_parts[p].push(a);
+            } else {
+                meas_parts[p].push(((i - warmup) as u32, a));
+            }
+        }
 
         // Clone one scheme replica per bank channel up front (on this
         // thread — `clone_box` borrows the template), then let each
@@ -249,18 +267,14 @@ impl SystemSim {
                 .expect("each partition takes its replica once");
             let mut values = self.profile.value_stream_for_bank(self.seed, p);
             let mut addr_bus = Bus::new(48);
-            let owns =
-                |addr: u64| parts == 1 || home_bank(addr, block_bytes, banks_n) == p;
 
-            for &Access { addr, write, core } in warm {
-                if owns(addr) {
-                    let _ = l2.access(addr, write, core);
-                }
+            for &Access { addr, write, core } in &warm_parts[p] {
+                let _ = l2.access(addr, write, core);
             }
             let invalidations_at_warmup = l2.invalidations();
 
             let mut out = PartitionSim {
-                records: Vec::with_capacity(accesses / parts + 1),
+                records: Vec::with_capacity(meas_parts[p].len()),
                 transfer: CostSummary::new(),
                 activity: CacheActivity::default(),
                 hits: 0,
@@ -270,10 +284,7 @@ impl SystemSim {
                 invalidations: 0,
                 hit_latency_hist: desc_telemetry::LocalHistogram::new(),
             };
-            for (i, &Access { addr, write, core }) in measured.iter().enumerate() {
-                if !owns(addr) {
-                    continue;
-                }
+            for &(i, Access { addr, write, core }) in &meas_parts[p] {
                 let bank = home_bank(addr, block_bytes, banks_n);
                 let outcome = l2.access(addr, write, core);
                 out.activity.tag_lookups += 1;
@@ -284,8 +295,9 @@ impl SystemSim {
                                         values: &mut desc_workloads::ValueStream,
                                         write_dir: bool|
                  -> desc_core::TransferCost {
-                    let block = values.next_block();
-                    let cost = scheme.transfer(&block);
+                    // Borrow the stream's internal scratch block — no
+                    // per-transfer allocation, identical bytes.
+                    let cost = scheme.transfer(values.next_block_ref());
                     out.transfer.record(cost);
                     let mut transitions = cost.total_transitions();
                     if is_last_value && write_dir {
@@ -318,7 +330,7 @@ impl SystemSim {
                             out.hit_latency_hist.record(latency);
                         }
                         out.records.push(AccessRecord {
-                            idx: i as u64,
+                            idx: u64::from(i),
                             addr,
                             bank,
                             miss: false,
@@ -340,7 +352,7 @@ impl SystemSim {
                             service += wb.cycles;
                         }
                         out.records.push(AccessRecord {
-                            idx: i as u64,
+                            idx: u64::from(i),
                             addr,
                             bank,
                             miss: true,
@@ -404,23 +416,35 @@ impl SystemSim {
         let mut bank_busy_cycles = 0u64;
         let mut dram_accesses = 0u64;
         let mut dram_row_hits = 0u64;
+        // Pass state is allocated once and reused across the three
+        // fixed-point passes (and the event buffer across barriers).
+        let mut passes: Vec<PartitionPass> = sims
+            .iter()
+            .map(|sim| PartitionPass {
+                sched: BankScheduler::new(banks_n),
+                lat: Vec::with_capacity(sim.records.len()),
+                misses: Vec::new(),
+                horizon: 0,
+                queue_hist: desc_telemetry::LocalHistogram::new(),
+                bank_conflicts: 0,
+                bank_busy_cycles: 0,
+            })
+            .collect();
+        let mut events: Vec<MissEvent> = Vec::new();
         for _ in 0..3 {
             // (A) Independent bank scheduling per partition.
             let pass_cpa = cpa;
-            let mut passes: Vec<PartitionPass> = run_parts(parts, threads, |p| {
+            run_parts_mut(&mut passes, threads, |p, pass| {
                 let sim = &sims[p];
-                let mut sched = BankScheduler::new(banks_n);
-                let mut pass = PartitionPass {
-                    lat: Vec::with_capacity(sim.records.len()),
-                    misses: Vec::new(),
-                    horizon: 0,
-                    queue_hist: desc_telemetry::LocalHistogram::new(),
-                    bank_conflicts: 0,
-                    bank_busy_cycles: 0,
-                };
+                pass.sched.reset();
+                pass.lat.clear();
+                pass.misses.clear();
+                pass.queue_hist = desc_telemetry::LocalHistogram::new();
+                pass.bank_conflicts = 0;
+                pass.bank_busy_cycles = 0;
                 for (slot, r) in sim.records.iter().enumerate() {
                     let arrival = (r.idx as f64 * pass_cpa) as u64;
-                    let (start, queue) = sched.schedule(r.bank, arrival, r.service);
+                    let (start, queue) = pass.sched.schedule(r.bank, arrival, r.service);
                     pass.lat.push(queue + r.base_latency);
                     if r.miss {
                         pass.misses.push(MissEvent {
@@ -439,8 +463,7 @@ impl SystemSim {
                         pass.bank_busy_cycles += r.service;
                     }
                 }
-                pass.horizon = sched.horizon();
-                pass
+                pass.horizon = pass.sched.horizon();
             });
 
             // (B) Epoch barrier: order cross-bank DRAM requests by
@@ -449,7 +472,7 @@ impl SystemSim {
             // through one shared DRAM. The sort key is a pure function
             // of per-partition results, so this is deterministic for
             // any shard count.
-            let mut events: Vec<MissEvent> = Vec::new();
+            events.clear();
             for pass in &mut passes {
                 events.append(&mut pass.misses);
             }
@@ -639,9 +662,10 @@ mod tests {
     #[test]
     fn shard_count_never_changes_results() {
         // The decomposition unit is the bank, which is fixed by the
-        // config; `shards` only picks the worker-thread count. Results
-        // must be bit-identical for any shard count, on both machine
-        // models and for stateful (last-value) schemes.
+        // config; `shards` only caps in-flight partitions on the shared
+        // pool. Results must be bit-identical for any shard count, on
+        // both machine models and for stateful (last-value) schemes.
+        desc_exec::configure(4);
         for (mk, kind, seed) in [
             (SimConfig::paper_multithreaded as fn() -> SimConfig, SchemeKind::ZeroSkippedDesc, 2013u64),
             (SimConfig::paper_out_of_order, SchemeKind::LastValueSkippedDesc, 99),

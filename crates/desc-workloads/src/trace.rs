@@ -34,7 +34,7 @@ pub struct Access {
 /// assert_eq!(a.addr % 64, 0, "accesses are block aligned");
 /// assert!((a.core as usize) < profile.cores);
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct TraceGenerator {
     rng: Rng64,
     cores: usize,
@@ -46,6 +46,10 @@ pub struct TraceGenerator {
     cursors: Vec<u64>,
     /// Remaining length of the current sequential run per core.
     run_left: Vec<u32>,
+    /// Accesses drawn since creation; flushed to the
+    /// `workloads.accesses_generated` counter once, on drop, instead of
+    /// taking an atomic add per access.
+    pending_accesses: u64,
 }
 
 const BLOCK: u64 = 64;
@@ -66,6 +70,7 @@ impl TraceGenerator {
             write_fraction: profile.write_fraction,
             cursors: vec![0; profile.cores],
             run_left: vec![0; profile.cores],
+            pending_accesses: 0,
         }
     }
 
@@ -90,15 +95,39 @@ impl TraceGenerator {
             self.cursors[core] = (self.cursors[core] + 1) % self.total_blocks;
             b * BLOCK
         };
-        if desc_telemetry::enabled() {
-            desc_telemetry::counter!("workloads.accesses_generated").incr();
-        }
+        self.pending_accesses += 1;
         Access { addr, write, core: core as u8 }
     }
 
     /// Convenience: materialise `n` accesses.
     pub fn take(&mut self, n: usize) -> Vec<Access> {
         (0..n).map(|_| self.next_access()).collect()
+    }
+}
+
+impl Clone for TraceGenerator {
+    /// Clones the generator state; the clone starts its own telemetry
+    /// tally so drawn accesses are never double-counted.
+    fn clone(&self) -> Self {
+        Self {
+            rng: self.rng.clone(),
+            cores: self.cores,
+            hot_blocks: self.hot_blocks,
+            total_blocks: self.total_blocks,
+            hot_fraction: self.hot_fraction,
+            write_fraction: self.write_fraction,
+            cursors: self.cursors.clone(),
+            run_left: self.run_left.clone(),
+            pending_accesses: 0,
+        }
+    }
+}
+
+impl Drop for TraceGenerator {
+    fn drop(&mut self) {
+        if self.pending_accesses > 0 && desc_telemetry::enabled() {
+            desc_telemetry::counter!("workloads.accesses_generated").add(self.pending_accesses);
+        }
     }
 }
 

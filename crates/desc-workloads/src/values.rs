@@ -104,17 +104,33 @@ impl Default for ValueModel {
 /// let mut b = ValueModel::mixed().stream(7);
 /// assert_eq!(a.next_block(), b.next_block()); // same seed, same stream
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct ValueStream {
     model: ValueModel,
     rng: Rng64,
     previous: Block,
+    /// Scratch block filled by generation and then swapped with
+    /// `previous` — the stream owns exactly two blocks for its whole
+    /// life, so the per-draw hot path allocates nothing.
+    scratch: Block,
     heap_base: u64,
+    /// Blocks drawn since creation; flushed to the
+    /// `workloads.blocks_generated` counter once, on drop, instead of
+    /// taking an atomic add per block.
+    pending_blocks: u64,
 }
 
 /// Blocks are the paper's 64-byte L2 blocks.
 const BLOCK_BYTES: usize = 64;
 const WORDS: usize = BLOCK_BYTES / 8;
+
+/// Fills `bytes` from little-endian `u64` words — the in-place twin of
+/// [`Block::from_words`].
+fn write_words(bytes: &mut [u8], words: &[u64; WORDS]) {
+    for (chunk, w) in bytes.chunks_exact_mut(8).zip(words) {
+        chunk.copy_from_slice(&w.to_le_bytes());
+    }
+}
 
 impl ValueStream {
     /// Creates a stream with the given mixture and seed.
@@ -122,18 +138,32 @@ impl ValueStream {
     pub fn new(model: ValueModel, seed: u64) -> Self {
         let mut rng = Rng64::seed_from_u64(seed);
         let heap_base = rng.gen_range(0x1000_0000u64..0x7f00_0000_0000) & !0xFFFF;
-        Self { model, rng, previous: Block::zeroed(BLOCK_BYTES), heap_base }
+        Self {
+            model,
+            rng,
+            previous: Block::zeroed(BLOCK_BYTES),
+            scratch: Block::zeroed(BLOCK_BYTES),
+            heap_base,
+            pending_blocks: 0,
+        }
     }
 
-    /// Draws the next 64-byte block.
+    /// Draws the next 64-byte block as an owned value.
     pub fn next_block(&mut self) -> Block {
+        self.next_block_ref().clone()
+    }
+
+    /// Draws the next 64-byte block and returns a borrow of it — the
+    /// allocation-free hot path. The bytes and the random sequence are
+    /// identical to [`ValueStream::next_block`]; the returned block
+    /// doubles as the stream's last-value memory, so it stays valid
+    /// until the next draw.
+    pub fn next_block_ref(&mut self) -> &Block {
         let archetype = self.pick_archetype();
-        let block = self.generate(archetype);
-        self.previous = block.clone();
-        if desc_telemetry::enabled() {
-            desc_telemetry::counter!("workloads.blocks_generated").incr();
-        }
-        block
+        self.generate_into_scratch(archetype);
+        std::mem::swap(&mut self.scratch, &mut self.previous);
+        self.pending_blocks += 1;
+        &self.previous
     }
 
     fn pick_archetype(&mut self) -> Archetype {
@@ -150,27 +180,32 @@ impl ValueStream {
         Archetype::DenseFp
     }
 
-    fn generate(&mut self, archetype: Archetype) -> Block {
+    /// Fills `self.scratch` for the archetype, drawing exactly the same
+    /// random values (in the same order) as every prior release did for
+    /// the archetype, so streams stay bit-for-bit reproducible.
+    fn generate_into_scratch(&mut self, archetype: Archetype) {
+        let Self { rng, previous, scratch, heap_base, .. } = self;
+        let bytes = scratch.as_bytes_mut();
         match archetype {
-            Archetype::Null => Block::zeroed(BLOCK_BYTES),
+            Archetype::Null => bytes.fill(0),
             Archetype::SparseInt => {
                 let mut words = [0u64; WORDS];
-                let hot = self.rng.gen_range(1..=2);
+                let hot = rng.gen_range(1..=2);
                 for _ in 0..hot {
-                    let i = self.rng.gen_range(0..WORDS);
-                    words[i] = u64::from(self.rng.gen_range(1u32..4096));
+                    let i = rng.gen_range(0..WORDS);
+                    words[i] = u64::from(rng.gen_range(1u32..4096));
                 }
-                Block::from_words(&words)
+                write_words(bytes, &words);
             }
             Archetype::SmallInt => {
                 let mut words = [0u64; WORDS];
                 for w in &mut words {
                     // Two 32-bit lanes of small magnitudes per word.
-                    let lo = u64::from(self.rng.gen_range(0u32..65_536));
-                    let hi = u64::from(self.rng.gen_range(0u32..256));
+                    let lo = u64::from(rng.gen_range(0u32..65_536));
+                    let hi = u64::from(rng.gen_range(0u32..256));
                     *w = lo | (hi << 32);
                 }
-                Block::from_words(&words)
+                write_words(bytes, &words);
             }
             Archetype::DenseFp => {
                 let mut words = [0u64; WORDS];
@@ -179,40 +214,57 @@ impl ValueStream {
                 // mantissas — so adjacent words differ in mantissa and
                 // low exponent bits, as in real FP arrays.
                 for w in &mut words {
-                    let exponent = self.rng.gen_range(1000u64..1040) << 52;
-                    let mantissa = self.rng.gen::<u64>() & ((1 << 52) - 1);
+                    let exponent = rng.gen_range(1000u64..1040) << 52;
+                    let mantissa = rng.gen::<u64>() & ((1 << 52) - 1);
                     *w = exponent | mantissa;
                 }
-                Block::from_words(&words)
+                write_words(bytes, &words);
             }
             Archetype::Text => {
-                let bytes: Vec<u8> =
-                    (0..BLOCK_BYTES).map(|_| self.rng.gen_range(0x20u8..0x7F)).collect();
-                Block::from_bytes(&bytes)
+                for b in bytes.iter_mut() {
+                    *b = rng.gen_range(0x20u8..0x7F);
+                }
             }
             Archetype::Pointer => {
                 let mut words = [0u64; WORDS];
                 for w in &mut words {
-                    *w = self.heap_base + u64::from(self.rng.gen_range(0u32..1 << 20)) * 8;
+                    *w = *heap_base + u64::from(rng.gen_range(0u32..1 << 20)) * 8;
                 }
-                Block::from_words(&words)
+                write_words(bytes, &words);
             }
             Archetype::NearRepeat => {
-                let mut block = self.previous.clone();
+                bytes.copy_from_slice(previous.as_bytes());
                 // Mutate one or two words; everything else repeats.
-                let mutations = self.rng.gen_range(1..=2);
+                let mutations = rng.gen_range(1..=2);
                 for _ in 0..mutations {
-                    let i = self.rng.gen_range(0..WORDS);
-                    let value = u64::from(self.rng.gen::<u32>());
-                    for (k, byte) in value.to_le_bytes().iter().enumerate() {
-                        let bit_base = (i * 8 + k) * 8;
-                        for b in 0..8 {
-                            block.set_bit(bit_base + b, (byte >> b) & 1 == 1);
-                        }
-                    }
+                    let i = rng.gen_range(0..WORDS);
+                    let value = u64::from(rng.gen::<u32>());
+                    bytes[i * 8..i * 8 + 8].copy_from_slice(&value.to_le_bytes());
                 }
-                block
             }
+        }
+    }
+}
+
+impl Clone for ValueStream {
+    /// Clones the generator state; the clone starts its own telemetry
+    /// tally so drawn blocks are never double-counted.
+    fn clone(&self) -> Self {
+        Self {
+            model: self.model,
+            rng: self.rng.clone(),
+            previous: self.previous.clone(),
+            scratch: self.scratch.clone(),
+            heap_base: self.heap_base,
+            pending_blocks: 0,
+        }
+    }
+}
+
+impl Drop for ValueStream {
+    fn drop(&mut self) {
+        if self.pending_blocks > 0 && desc_telemetry::enabled() {
+            desc_telemetry::counter!("workloads.blocks_generated").add(self.pending_blocks);
         }
     }
 }
@@ -240,6 +292,16 @@ mod tests {
         let mut b = ValueModel::mixed().stream(3);
         for _ in 0..32 {
             assert_eq!(a.next_block(), b.next_block());
+        }
+    }
+
+    #[test]
+    fn borrowed_and_owned_draws_match() {
+        let mut a = ValueModel::mixed().stream(21);
+        let mut b = ValueModel::mixed().stream(21);
+        for _ in 0..64 {
+            let owned = a.next_block();
+            assert_eq!(&owned, b.next_block_ref());
         }
     }
 

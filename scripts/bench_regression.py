@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Warn-only throughput regression check for BENCH_pipeline.json.
+
+Compares every row of the latest history entry (rows are keyed on
+scheme + jobs + shards) against the most recent earlier entry that
+measured the same row, and prints a warning for every row that slowed
+down past the threshold. Always exits 0: bench numbers on shared CI
+runners are noisy, so regressions are surfaced in the log rather than
+failing the build.
+"""
+
+import json
+import sys
+
+THRESHOLD = 0.90  # warn when current throughput < 90% of previous
+
+
+def rows(entry):
+    out = {}
+    for r in entry.get("results", []):
+        key = (r.get("scheme"), r.get("jobs", 1), r.get("shards", 1))
+        out[key] = r.get("cells_per_sec", 0.0)
+    return out
+
+
+def main():
+    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_pipeline.json"
+    with open(path) as f:
+        doc = json.load(f)
+    history = doc.get("history", [])
+    if len(history) < 2:
+        print(f"{path}: fewer than two history entries, nothing to compare")
+        return
+    current = rows(history[-1])
+    warned = 0
+    compared = 0
+    for key, now in sorted(current.items()):
+        before = None
+        for entry in reversed(history[:-1]):
+            before = rows(entry).get(key)
+            if before:
+                break
+        if not before:
+            continue
+        compared += 1
+        ratio = now / before
+        scheme, jobs, shards = key
+        line = (
+            f"{scheme} jobs={jobs} shards={shards}: "
+            f"{before:.2f} -> {now:.2f} cells/s ({ratio:.2f}x)"
+        )
+        if ratio < THRESHOLD:
+            warned += 1
+            print(f"WARNING: {line}")
+        else:
+            print(f"ok: {line}")
+    if not compared:
+        print(f"{path}: no earlier entry measures the latest rows, nothing to compare")
+    if warned:
+        print(
+            f"{warned} row(s) slowed past {THRESHOLD:.0%} of the previous run; "
+            "warn-only, not failing the build"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Sweep pipeline throughput across the pool's two concurrency caps:
+# shards 1/2/4/8 at jobs 1/2/4, appending one history entry per run to
+# BENCH_pipeline.json. The desc-exec pool never shrinks once grown, so
+# each jobs value gets its own bench_pipeline process; within a
+# process the shard axis is just a region cap and sweeps freely.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_pipeline.json}"
+cargo build --release -p desc-bench
+
+for jobs in 1 2 4; do
+  echo "==> bench_pipeline --jobs $jobs --shards 1,2,4,8"
+  target/release/bench_pipeline "$OUT" --jobs "$jobs" --shards 1,2,4,8
+done
+
+echo "==> scaling sweep appended to $OUT"
