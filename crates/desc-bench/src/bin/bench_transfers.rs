@@ -13,14 +13,22 @@
 //! append-mode: `results` holds the latest run and `history` keeps a
 //! time series of every run (see `desc_bench::append_history`).
 //!
-//! Timing uses `std::time::Instant` only: each mode is warmed up and
-//! then timed over several repetitions, keeping the best (least
+//! Two further axes ride along:
+//!
+//! * **batch** — scalar-vs-batched speedup per scheme mode at slab
+//!   sizes 1/16/256: per-block `transfer` calls against one
+//!   `transfer_many` (or `Link::transfer_many`) over the same blocks.
+//! * **micro** — `Block::hamming_distance`'s u64 word fold against a
+//!   byte-at-a-time reference loop.
+//!
+//! Timing uses `std::time::Instant` only: each measurement is warmed
+//! up and then timed over several repetitions, keeping the best (least
 //! scheduler-disturbed) repetition.
 
 use desc_bench::{best_rate, Harness};
 use desc_core::protocol::{Link, LinkConfig, TraceCapture};
-use desc_core::schemes::SkipMode;
-use desc_core::{Block, ChunkSize};
+use desc_core::schemes::{BinaryScheme, BusInvertScheme, DescScheme, DzcScheme, SkipMode};
+use desc_core::{Block, BlockSlab, ChunkSize, TransferCost, TransferScheme};
 use desc_telemetry::Json;
 use desc_workloads::BenchmarkId;
 use std::hint::black_box;
@@ -37,6 +45,10 @@ const BASELINE: [(SkipMode, f64); 3] = [
 const BLOCK_BYTES: f64 = 64.0;
 const POOL: usize = 256;
 const TRANSFERS_PER_REP: usize = 16_000;
+/// Blocks moved per repetition on the batch axis (scalar and batched
+/// sides move the same count, so the rates compare directly).
+const BATCH_BLOCKS_PER_REP: usize = 8_192;
+const BATCH_SIZES: [usize; 3] = [1, 16, 256];
 const REPS: usize = 5;
 
 fn mode_name(mode: SkipMode) -> &'static str {
@@ -47,15 +59,18 @@ fn mode_name(mode: SkipMode) -> &'static str {
     }
 }
 
-fn bench_mode(mode: SkipMode, blocks: &[Block]) -> f64 {
-    let cfg = LinkConfig {
+fn link_config(mode: SkipMode) -> LinkConfig {
+    LinkConfig {
         wires: 128,
         chunk_size: ChunkSize::PAPER_DEFAULT,
         mode,
         wire_delay: 2,
         trace: TraceCapture::Off,
-    };
-    let mut link = Link::new(cfg);
+    }
+}
+
+fn bench_mode(mode: SkipMode, blocks: &[Block]) -> f64 {
+    let mut link = Link::new(link_config(mode));
     // Warmup: fault in the pool and let the scratch buffers size
     // themselves.
     for b in blocks {
@@ -66,6 +81,56 @@ fn bench_mode(mode: SkipMode, blocks: &[Block]) -> f64 {
         black_box(link.transfer(&blocks[i % blocks.len()]).cost.cycles);
         i += 1;
     })
+}
+
+/// Packs the pool into slabs of `batch` blocks each.
+fn slabs_of(blocks: &[Block], batch: usize) -> Vec<BlockSlab> {
+    blocks
+        .chunks(batch)
+        .map(|chunk| {
+            let mut slab = BlockSlab::with_capacity(blocks[0].byte_len(), chunk.len());
+            for b in chunk {
+                slab.push(b);
+            }
+            slab
+        })
+        .collect()
+}
+
+/// Times `scalar_step` per block against `batched_step` per slab over
+/// the same pool; returns (scalar, batched) blocks/sec.
+fn bench_batch(
+    blocks: &[Block],
+    batch: usize,
+    mut scalar_step: impl FnMut(&Block),
+    mut batched_step: impl FnMut(&BlockSlab),
+) -> (f64, f64) {
+    for b in blocks {
+        scalar_step(b);
+    }
+    let mut i = 0usize;
+    let scalar = best_rate(BATCH_BLOCKS_PER_REP, REPS, || {
+        scalar_step(&blocks[i % blocks.len()]);
+        i += 1;
+    });
+
+    let slabs = slabs_of(blocks, batch);
+    for slab in &slabs {
+        batched_step(slab);
+    }
+    let mut k = 0usize;
+    let iters = (BATCH_BLOCKS_PER_REP / batch).max(1);
+    let batched = best_rate(iters, REPS, || {
+        batched_step(&slabs[k % slabs.len()]);
+        k += 1;
+    }) * batch as f64;
+    (scalar, batched)
+}
+
+/// Byte-at-a-time Hamming distance — the pre-word-fold reference the
+/// micro row compares [`Block::hamming_distance`] against.
+fn hamming_bytewise(a: &Block, b: &Block) -> u32 {
+    a.as_bytes().iter().zip(b.as_bytes()).map(|(x, y)| (x ^ y).count_ones()).sum()
 }
 
 fn main() {
@@ -102,6 +167,143 @@ fn main() {
         );
     }
 
+    // ---- Batch axis: scalar vs transfer_many per scheme mode. -------
+    println!(
+        "\n{:<20} {:>6} {:>16} {:>17} {:>8}",
+        "mode", "batch", "scalar blk/s", "batched blk/s", "speedup"
+    );
+    let batch_row = |harness: &mut Harness, mode: &str, batch: usize, rates: (f64, f64)| {
+        let (scalar, batched) = rates;
+        let speedup = batched / scalar;
+        println!("{mode:<20} {batch:>6} {scalar:>16.0} {batched:>17.0} {speedup:>7.2}x");
+        harness.push(
+            Json::obj()
+                .with("mode", Json::Str(mode.to_owned()))
+                .with("batch", Json::UInt(batch as u64))
+                .with("scalar_blocks_per_sec", Json::Num((scalar * 10.0).round() / 10.0))
+                .with("batched_blocks_per_sec", Json::Num((batched * 10.0).round() / 10.0))
+                .with("batch_speedup", Json::Num((speedup * 1000.0).round() / 1000.0)),
+        );
+    };
+    for &batch in &BATCH_SIZES {
+        // Analytic schemes, scalar transfer vs specialized kernels.
+        let mut s = BinaryScheme::new(128);
+        let mut b = s.clone();
+        let mut costs: Vec<TransferCost> = Vec::with_capacity(batch);
+        let rates = bench_batch(
+            &blocks,
+            batch,
+            |blk| {
+                black_box(s.transfer(blk).cycles);
+            },
+            |slab| {
+                costs.clear();
+                b.transfer_many(slab, &mut costs);
+                black_box(costs.len());
+            },
+        );
+        batch_row(&mut harness, "conventional_binary", batch, rates);
+
+        let mut s = DzcScheme::new(128, 8);
+        let mut b = s.clone();
+        let mut costs: Vec<TransferCost> = Vec::with_capacity(batch);
+        let rates = bench_batch(
+            &blocks,
+            batch,
+            |blk| {
+                black_box(s.transfer(blk).cycles);
+            },
+            |slab| {
+                costs.clear();
+                b.transfer_many(slab, &mut costs);
+                black_box(costs.len());
+            },
+        );
+        batch_row(&mut harness, "dzc", batch, rates);
+
+        let mut s = BusInvertScheme::new(128, 32);
+        let mut b = s.clone();
+        let mut costs: Vec<TransferCost> = Vec::with_capacity(batch);
+        let rates = bench_batch(
+            &blocks,
+            batch,
+            |blk| {
+                black_box(s.transfer(blk).cycles);
+            },
+            |slab| {
+                costs.clear();
+                b.transfer_many(slab, &mut costs);
+                black_box(costs.len());
+            },
+        );
+        batch_row(&mut harness, "bus_invert", batch, rates);
+
+        let mut s = DescScheme::new(128, ChunkSize::PAPER_DEFAULT, SkipMode::Zero);
+        let mut b = s.clone();
+        let mut costs: Vec<TransferCost> = Vec::with_capacity(batch);
+        let rates = bench_batch(
+            &blocks,
+            batch,
+            |blk| {
+                black_box(s.transfer(blk).cycles);
+            },
+            |slab| {
+                costs.clear();
+                b.transfer_many(slab, &mut costs);
+                black_box(costs.len());
+            },
+        );
+        batch_row(&mut harness, "zero_skip_analytic", batch, rates);
+
+        // The cycle-stepped link: batched entry skips the event list
+        // and receiver entirely when capture is off.
+        for mode in [SkipMode::None, SkipMode::Zero, SkipMode::LastValue] {
+            let mut s = Link::new(link_config(mode));
+            let mut b = Link::new(link_config(mode));
+            let mut costs: Vec<TransferCost> = Vec::with_capacity(batch);
+            let rates = bench_batch(
+                &blocks,
+                batch,
+                |blk| {
+                    black_box(s.transfer(blk).cost.cycles);
+                },
+                |slab| {
+                    costs.clear();
+                    b.transfer_many(slab, &mut costs);
+                    black_box(costs.len());
+                },
+            );
+            batch_row(&mut harness, mode_name(mode), batch, rates);
+        }
+    }
+
+    // ---- Micro: hamming distance, byte loop vs u64 word fold. -------
+    let pairs: Vec<(&Block, &Block)> =
+        (0..blocks.len()).map(|i| (&blocks[i], &blocks[(i + 1) % blocks.len()])).collect();
+    let mut i = 0usize;
+    let bytewise = best_rate(BATCH_BLOCKS_PER_REP, REPS, || {
+        let (a, b) = pairs[i % pairs.len()];
+        black_box(hamming_bytewise(a, b));
+        i += 1;
+    });
+    let mut i = 0usize;
+    let folded = best_rate(BATCH_BLOCKS_PER_REP, REPS, || {
+        let (a, b) = pairs[i % pairs.len()];
+        black_box(a.hamming_distance(b));
+        i += 1;
+    });
+    let speedup = folded / bytewise;
+    println!(
+        "\nhamming_distance     bytewise {bytewise:>14.0}/s  word-fold {folded:>14.0}/s  {speedup:>5.2}x"
+    );
+    harness.push(
+        Json::obj()
+            .with("micro", Json::Str("hamming_distance".to_owned()))
+            .with("bytewise_per_sec", Json::Num((bytewise * 10.0).round() / 10.0))
+            .with("word_fold_per_sec", Json::Num((folded * 10.0).round() / 10.0))
+            .with("speedup", Json::Num((speedup * 1000.0).round() / 1000.0)),
+    );
+
     let config = Json::obj()
         .with("wires", Json::UInt(128))
         .with("chunk_bits", Json::UInt(4))
@@ -109,6 +311,11 @@ fn main() {
         .with("block_bytes", Json::UInt(BLOCK_BYTES as u64))
         .with("workload", Json::Str("ocean value stream, seed 2013".to_owned()))
         .with("transfers_per_rep", Json::UInt(TRANSFERS_PER_REP as u64))
+        .with("batch_blocks_per_rep", Json::UInt(BATCH_BLOCKS_PER_REP as u64))
+        .with(
+            "batch_sizes",
+            Json::Arr(BATCH_SIZES.iter().map(|&b| Json::UInt(b as u64)).collect()),
+        )
         .with("reps", Json::UInt(REPS as u64));
     harness.finish(config);
 }

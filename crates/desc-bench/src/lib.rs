@@ -94,7 +94,10 @@ pub fn best_rate(iters: usize, reps: usize, mut work: impl FnMut()) -> f64 {
 #[must_use]
 pub fn pool_stanza() -> Json {
     let s = desc_exec::stats();
+    let host_cores =
+        std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
     Json::obj()
+        .with("host_cores", Json::UInt(host_cores as u64))
         .with("target", Json::UInt(s.target as u64))
         .with("workers", Json::UInt(s.workers as u64))
         .with("regions", Json::UInt(s.regions))

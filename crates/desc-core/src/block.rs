@@ -190,7 +190,59 @@ impl Block {
         self.bytes.iter().all(|&b| b == 0)
     }
 
+    /// The number of 64-bit words needed to hold this block
+    /// (`byte_len` rounded up to a multiple of 8).
+    #[must_use]
+    pub fn word_len(&self) -> usize {
+        self.bytes.len().div_ceil(8)
+    }
+
+    /// Returns 64-bit word `i` of the block, read little-endian; bytes
+    /// past the end of the block read as zero (the word-level twin of
+    /// [`Block::bits`]' zero padding).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.word_len()`.
+    #[must_use]
+    pub fn word(&self, i: usize) -> u64 {
+        assert!(i < self.word_len(), "word index {i} out of range");
+        let start = i * 8;
+        let mut raw = [0u8; 8];
+        let tail = &self.bytes[start..self.bytes.len().min(start + 8)];
+        raw[..tail.len()].copy_from_slice(tail);
+        u64::from_le_bytes(raw)
+    }
+
+    /// Extracts `width` bits starting at bit `start` as a little-endian
+    /// integer — the wide cousin of [`Block::bits`] for whole-segment
+    /// extraction (a 64-wire beat in one call instead of 64 `bit`
+    /// calls). Bits past the end of the block read as zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or greater than 64.
+    #[must_use]
+    pub fn word_bits(&self, start: usize, width: usize) -> u64 {
+        assert!(width > 0 && width <= 64, "bit field width {width} out of range");
+        // A ≤64-bit field at any bit offset spans at most nine bytes.
+        let first = start / 8;
+        let shift = start % 8;
+        let mut acc = 0u128;
+        if let Some(tail) = self.bytes.get(first..) {
+            for (k, &b) in tail.iter().take(9).enumerate() {
+                acc |= u128::from(b) << (8 * k);
+            }
+        }
+        let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        ((acc >> shift) as u64) & mask
+    }
+
     /// Number of bit positions at which `self` and `other` differ.
+    ///
+    /// Folds eight bytes at a time (`xor` + `count_ones` over `u64`
+    /// lanes) with a byte-wise tail for lengths that are not a multiple
+    /// of eight.
     ///
     /// # Panics
     ///
@@ -202,11 +254,241 @@ impl Block {
             other.byte_len(),
             "hamming distance requires equal-length blocks"
         );
-        self.bytes
-            .iter()
-            .zip(&other.bytes)
-            .map(|(a, b)| (a ^ b).count_ones())
-            .sum()
+        let mut a = self.bytes.chunks_exact(8);
+        let mut b = other.bytes.chunks_exact(8);
+        let mut total = 0u32;
+        for (wa, wb) in (&mut a).zip(&mut b) {
+            let x = u64::from_le_bytes(wa.try_into().expect("8-byte chunk"))
+                ^ u64::from_le_bytes(wb.try_into().expect("8-byte chunk"));
+            total += x.count_ones();
+        }
+        total
+            + a.remainder()
+                .iter()
+                .zip(b.remainder())
+                .map(|(x, y)| (x ^ y).count_ones())
+                .sum::<u32>()
+    }
+}
+
+/// Extracts `width ≤ 16` bits starting at `start` from a zero-padded
+/// little-endian word slice — the slab-side twin of [`Block::bits`]:
+/// bits past the end of the slice read as zero.
+#[must_use]
+fn bits_of_words(words: &[u64], start: usize, width: usize) -> u16 {
+    debug_assert!(width > 0 && width <= 16);
+    let w = start / 64;
+    let shift = start % 64;
+    let lo = words.get(w).copied().unwrap_or(0) >> shift;
+    let acc = if shift + width > 64 {
+        lo | (words.get(w + 1).copied().unwrap_or(0) << (64 - shift))
+    } else {
+        lo
+    };
+    let mask = if width == 16 { 0xFFFF } else { (1u64 << width) - 1 };
+    (acc & mask) as u16
+}
+
+/// A packed batch of equal-length blocks in 8-byte-aligned storage.
+///
+/// The slab is the unit the batched transfer path moves: blocks are
+/// stored back to back as little-endian `u64` words (each block padded
+/// to a whole number of words, padding bits zero), so batched encoders
+/// can run `xor`/`count_ones` lane math directly on `[u64]` slices
+/// without touching byte-granular accessors.
+///
+/// # Examples
+///
+/// ```
+/// use desc_core::{Block, BlockSlab};
+///
+/// let mut slab = BlockSlab::new(64);
+/// slab.push(&Block::default());
+/// assert_eq!(slab.len(), 1);
+/// assert_eq!(slab.block_words(0).len(), 8);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct BlockSlab {
+    byte_len: usize,
+    words_per_block: usize,
+    words: Vec<u64>,
+}
+
+impl BlockSlab {
+    /// Creates an empty slab for blocks of `byte_len` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `byte_len` is zero.
+    #[must_use]
+    pub fn new(byte_len: usize) -> Self {
+        assert!(byte_len > 0, "a block must contain at least one byte");
+        Self { byte_len, words_per_block: byte_len.div_ceil(8), words: Vec::new() }
+    }
+
+    /// Creates an empty slab with room for `blocks` blocks of
+    /// `byte_len` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `byte_len` is zero.
+    #[must_use]
+    pub fn with_capacity(byte_len: usize, blocks: usize) -> Self {
+        let mut slab = Self::new(byte_len);
+        slab.words.reserve(blocks * slab.words_per_block);
+        slab
+    }
+
+    /// Byte length of every block in the slab.
+    #[must_use]
+    pub fn byte_len(&self) -> usize {
+        self.byte_len
+    }
+
+    /// Bit length of every block in the slab.
+    #[must_use]
+    pub fn bit_len(&self) -> usize {
+        self.byte_len * 8
+    }
+
+    /// Words of storage per block (`byte_len` rounded up to whole
+    /// 8-byte words).
+    #[must_use]
+    pub fn words_per_block(&self) -> usize {
+        self.words_per_block
+    }
+
+    /// Number of blocks currently in the slab.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.words.len() / self.words_per_block
+    }
+
+    /// True when the slab holds no blocks.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Removes all blocks, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.words.clear();
+    }
+
+    /// Appends a copy of `block` to the slab.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block's byte length differs from the slab's.
+    pub fn push(&mut self, block: &Block) {
+        assert_eq!(
+            block.byte_len(),
+            self.byte_len,
+            "slab holds {}-byte blocks",
+            self.byte_len
+        );
+        let bytes = block.as_bytes();
+        let mut chunks = bytes.chunks_exact(8);
+        for w in &mut chunks {
+            self.words.push(u64::from_le_bytes(w.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut raw = [0u8; 8];
+            raw[..rem.len()].copy_from_slice(rem);
+            self.words.push(u64::from_le_bytes(raw));
+        }
+    }
+
+    /// The packed little-endian words of block `i` (padding bits, if
+    /// any, are zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    #[must_use]
+    pub fn block_words(&self, i: usize) -> &[u64] {
+        assert!(i < self.len(), "block index {i} out of range");
+        &self.words[i * self.words_per_block..(i + 1) * self.words_per_block]
+    }
+
+    /// Extracts `width ≤ 16` bits of block `i` starting at bit `start`
+    /// — bit-identical to [`Block::bits`] on the corresponding block,
+    /// including zero reads past the end.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()` or `width` is zero or greater
+    /// than 16.
+    #[must_use]
+    pub fn bits(&self, i: usize, start: usize, width: usize) -> u16 {
+        assert!(width > 0 && width <= 16, "bit field width {width} out of range");
+        bits_of_words(self.block_words(i), start, width)
+    }
+
+    /// Extracts `width ≤ 64` bits of block `i` starting at bit `start`
+    /// — bit-identical to [`Block::word_bits`] on the corresponding
+    /// block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()` or `width` is zero or greater
+    /// than 64.
+    #[must_use]
+    pub fn word_bits(&self, i: usize, start: usize, width: usize) -> u64 {
+        assert!(width > 0 && width <= 64, "bit field width {width} out of range");
+        let words = self.block_words(i);
+        let w = start / 64;
+        let shift = start % 64;
+        let lo = words.get(w).copied().unwrap_or(0) >> shift;
+        let acc = if shift > 0 && shift + width > 64 {
+            lo | (words.get(w + 1).copied().unwrap_or(0) << (64 - shift))
+        } else {
+            lo
+        };
+        let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        acc & mask
+    }
+
+    /// Copies block `i` into `out` (which must have the slab's byte
+    /// length) — the scalar-fallback bridge from slab storage back to
+    /// a [`Block`] without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()` or `out` has a different length.
+    pub fn copy_block_into(&self, i: usize, out: &mut Block) {
+        assert_eq!(
+            out.byte_len(),
+            self.byte_len,
+            "slab holds {}-byte blocks",
+            self.byte_len
+        );
+        let words = self.block_words(i);
+        let bytes = out.as_bytes_mut();
+        let mut chunks = bytes.chunks_exact_mut(8);
+        let mut w = 0usize;
+        for dst in &mut chunks {
+            dst.copy_from_slice(&words[w].to_le_bytes());
+            w += 1;
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let raw = words[w].to_le_bytes();
+            rem.copy_from_slice(&raw[..rem.len()]);
+        }
+    }
+
+    /// Block `i` as an owned [`Block`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    #[must_use]
+    pub fn get_block(&self, i: usize) -> Block {
+        let mut out = Block::zeroed(self.byte_len);
+        self.copy_block_into(i, &mut out);
+        out
     }
 }
 
@@ -328,5 +610,102 @@ mod tests {
         let s = format!("{b:?}");
         assert!(s.contains("64 B"));
         assert!(s.contains('…'));
+    }
+
+    #[test]
+    fn word_reads_little_endian_with_zero_padding() {
+        let b = Block::from_bytes(&[0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01, 0xAA]);
+        assert_eq!(b.word_len(), 2);
+        assert_eq!(b.word(0), 0x0102_0304_0506_0708);
+        assert_eq!(b.word(1), 0xAA); // seven padded zero bytes
+    }
+
+    #[test]
+    fn word_bits_matches_bits_on_all_offsets() {
+        let b = Block::from_bytes(&[0x31, 0x41, 0x59, 0x26, 0x53, 0x58, 0x97, 0x93, 0x23]);
+        for start in 0..b.bit_len() {
+            for width in 1..=16 {
+                assert_eq!(
+                    b.word_bits(start, width),
+                    u64::from(b.bits(start, width)),
+                    "start {start} width {width}"
+                );
+            }
+        }
+        // Wide fields spanning a word boundary.
+        assert_eq!(b.word_bits(0, 64), b.word(0));
+        assert_eq!(b.word_bits(4, 64), (b.word(0) >> 4) | (b.word(1) << 60));
+    }
+
+    #[test]
+    fn hamming_distance_word_fold_matches_bytewise() {
+        // Lengths that exercise the u64 lanes and the byte tail.
+        for len in [1usize, 7, 8, 9, 15, 16, 63, 64] {
+            let a_bytes: Vec<u8> = (0..len).map(|i| (i * 37 + 11) as u8).collect();
+            let b_bytes: Vec<u8> = (0..len).map(|i| (i * 91 + 3) as u8).collect();
+            let a = Block::from_bytes(&a_bytes);
+            let b = Block::from_bytes(&b_bytes);
+            let expected: u32 =
+                a_bytes.iter().zip(&b_bytes).map(|(x, y)| (x ^ y).count_ones()).sum();
+            assert_eq!(a.hamming_distance(&b), expected, "len {len}");
+        }
+    }
+
+    #[test]
+    fn slab_roundtrips_blocks() {
+        for len in [1usize, 7, 8, 9, 64] {
+            let mut slab = BlockSlab::with_capacity(len, 3);
+            let blocks: Vec<Block> = (0..3u8)
+                .map(|k| {
+                    Block::from_vec((0..len).map(|i| (i as u8).wrapping_mul(k + 1)).collect())
+                })
+                .collect();
+            for b in &blocks {
+                slab.push(b);
+            }
+            assert_eq!(slab.len(), 3);
+            assert_eq!(slab.byte_len(), len);
+            for (i, b) in blocks.iter().enumerate() {
+                assert_eq!(&slab.get_block(i), b, "len {len} block {i}");
+                for w in 0..b.word_len() {
+                    assert_eq!(slab.block_words(i)[w], b.word(w));
+                }
+            }
+            slab.clear();
+            assert!(slab.is_empty());
+        }
+    }
+
+    #[test]
+    fn slab_bits_match_block_bits() {
+        let bytes: Vec<u8> = (0..64u8).map(|i| i.wrapping_mul(73).wrapping_add(5)).collect();
+        let block = Block::from_bytes(&bytes);
+        let mut slab = BlockSlab::new(64);
+        slab.push(&block);
+        for width in [1usize, 3, 4, 7, 8, 13, 16] {
+            for start in (0..block.bit_len()).step_by(width) {
+                assert_eq!(
+                    slab.bits(0, start, width),
+                    block.bits(start, width),
+                    "start {start} width {width}"
+                );
+            }
+        }
+        for width in [17usize, 32, 48, 64] {
+            for start in (0..block.bit_len()).step_by(31) {
+                assert_eq!(
+                    slab.word_bits(0, start, width),
+                    block.word_bits(start, width),
+                    "start {start} width {width}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "slab holds 8-byte blocks")]
+    fn slab_rejects_mismatched_block_length() {
+        let mut slab = BlockSlab::new(8);
+        slab.push(&Block::zeroed(16));
     }
 }

@@ -93,14 +93,61 @@ pub struct Chunks {
     values: Vec<u16>,
 }
 
+/// Appends the first `n_chunks` `width`-bit chunk values of a
+/// little-endian word stream to `out`, LSB-first — the u64-lane chunk
+/// extractor shared by [`Chunks::split`], the protocol layer, and the
+/// batched scheme kernels. Bits past the end of the stream read as
+/// zero, matching [`Block::bits`].
+pub(crate) fn chunk_values_into(
+    mut words: impl Iterator<Item = u64>,
+    n_chunks: usize,
+    width: usize,
+    out: &mut Vec<u16>,
+) {
+    debug_assert!(width > 0 && width <= 8);
+    out.reserve(n_chunks);
+    if 64 % width == 0 {
+        // Chunk boundaries never straddle a word: peel whole words and
+        // shift chunks out 64/width at a time.
+        let per_word = 64 / width;
+        let mask = (1u64 << width) - 1;
+        let mut remaining = n_chunks;
+        while remaining > 0 {
+            let mut x = words.next().unwrap_or(0);
+            for _ in 0..per_word.min(remaining) {
+                out.push((x & mask) as u16);
+                x >>= width;
+            }
+            remaining = remaining.saturating_sub(per_word);
+        }
+    } else {
+        // Widths 3/5/6/7: stream through a wide accumulator so chunks
+        // spanning a word boundary see both halves.
+        let mask = u128::from((1u16 << width) - 1);
+        let mut acc: u128 = 0;
+        let mut avail = 0usize;
+        for _ in 0..n_chunks {
+            if avail < width {
+                acc |= u128::from(words.next().unwrap_or(0)) << avail;
+                avail += 64;
+            }
+            out.push((acc & mask) as u16);
+            acc >>= width;
+            avail -= width;
+        }
+    }
+}
+
 impl Chunks {
     /// Partitions `block` into contiguous chunks of `size` bits,
-    /// LSB-first (chunk 0 holds block bits `0..size`).
+    /// LSB-first (chunk 0 holds block bits `0..size`), extracting
+    /// whole 64-bit words at a time.
     #[must_use]
     pub fn split(block: &Block, size: ChunkSize) -> Self {
         let n = size.chunks_for_bits(block.bit_len());
         let width = size.bits() as usize;
-        let values = (0..n).map(|i| block.bits(i * width, width)).collect();
+        let mut values = Vec::new();
+        chunk_values_into((0..block.word_len()).map(|i| block.word(i)), n, width, &mut values);
         Self { size, values }
     }
 
@@ -318,6 +365,23 @@ mod tests {
         let chunks = Chunks::split(&block, ChunkSize::new(3).unwrap());
         assert_eq!(chunks.len(), 6);
         assert_eq!(chunks.reassemble(2), block);
+    }
+
+    #[test]
+    fn split_matches_bitwise_extraction_all_widths() {
+        // An odd byte length exercises both the whole-word fast path
+        // and the word-straddling accumulator path, including the
+        // zero-padded final chunk.
+        let bytes: Vec<u8> = (0..23u8).map(|i| i.wrapping_mul(89).wrapping_add(17)).collect();
+        let block = Block::from_bytes(&bytes);
+        for bits in 1..=8u8 {
+            let size = ChunkSize::new(bits).unwrap();
+            let width = bits as usize;
+            let expected: Vec<u16> = (0..size.chunks_for_bits(block.bit_len()))
+                .map(|i| block.bits(i * width, width))
+                .collect();
+            assert_eq!(Chunks::split(&block, size).values(), &expected[..], "width {width}");
+        }
     }
 
     #[test]

@@ -67,7 +67,7 @@ pub mod schemes;
 pub mod synthesis;
 pub mod wire;
 
-pub use block::Block;
+pub use block::{Block, BlockSlab};
 pub use chunk::{ChunkSize, Chunks, WireAssignment};
 pub use cost::{CostSummary, TransferCost};
-pub use scheme::TransferScheme;
+pub use scheme::{transfer_each, TransferScheme};

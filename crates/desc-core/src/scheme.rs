@@ -1,6 +1,6 @@
 //! The [`TransferScheme`] abstraction shared by DESC and all baselines.
 
-use crate::block::Block;
+use crate::block::{Block, BlockSlab};
 use crate::cost::{TransferCost, WireBudget};
 
 /// A data-transfer scheme for moving cache blocks across an
@@ -44,6 +44,26 @@ pub trait TransferScheme: Send {
     /// scheme's configuration (e.g. fewer bits than one bus beat).
     fn transfer(&mut self, block: &Block) -> TransferCost;
 
+    /// Transfers every block of `slab` in order, appending one cost per
+    /// block to `costs` — the batched entry point the simulators feed.
+    ///
+    /// The contract is *bit-identical equivalence*: the appended costs
+    /// and the final wire/counter state must match what `slab.len()`
+    /// sequential [`TransferScheme::transfer`] calls would produce. The
+    /// default implementation is exactly that loop (through a scratch
+    /// block, so it allocates once per call, not per block); schemes
+    /// with word-level kernels override it to amortize per-block
+    /// dispatch and run `u64`-lane toggle math (see
+    /// [`transfer_each`] for the reference loop).
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if the slab's blocks are incompatible with
+    /// the scheme's configuration.
+    fn transfer_many(&mut self, slab: &BlockSlab, costs: &mut Vec<TransferCost>) {
+        transfer_each(self, slab, costs);
+    }
+
     /// Returns all wires and remembered values to the power-on state
     /// (all zeroes), as at the start of a simulation.
     fn reset(&mut self);
@@ -59,8 +79,30 @@ pub trait TransferScheme: Send {
     fn clone_box(&self) -> Box<dyn TransferScheme>;
 }
 
+/// The scalar reference loop: transfers every block of `slab` through
+/// [`TransferScheme::transfer`] one at a time via a single scratch
+/// block. This is the default [`TransferScheme::transfer_many`] body
+/// and the oracle the slab-equivalence suite compares batched kernels
+/// against.
+pub fn transfer_each<S: TransferScheme + ?Sized>(
+    scheme: &mut S,
+    slab: &BlockSlab,
+    costs: &mut Vec<TransferCost>,
+) {
+    if slab.is_empty() {
+        return;
+    }
+    let mut scratch = Block::zeroed(slab.byte_len());
+    costs.reserve(slab.len());
+    for i in 0..slab.len() {
+        slab.copy_block_into(i, &mut scratch);
+        costs.push(scheme.transfer(&scratch));
+    }
+}
+
 /// Blanket impl so `Box<dyn TransferScheme>` and `&mut S` both work in
-/// generic drivers.
+/// generic drivers. `transfer_many` is forwarded explicitly — the
+/// default loop here would hide the inner scheme's batched kernel.
 impl<S: TransferScheme + ?Sized> TransferScheme for Box<S> {
     fn name(&self) -> &'static str {
         (**self).name()
@@ -72,6 +114,10 @@ impl<S: TransferScheme + ?Sized> TransferScheme for Box<S> {
 
     fn transfer(&mut self, block: &Block) -> TransferCost {
         (**self).transfer(block)
+    }
+
+    fn transfer_many(&mut self, slab: &BlockSlab, costs: &mut Vec<TransferCost>) {
+        (**self).transfer_many(slab, costs)
     }
 
     fn reset(&mut self) {
@@ -94,6 +140,10 @@ impl<S: TransferScheme + ?Sized> TransferScheme for &mut S {
 
     fn transfer(&mut self, block: &Block) -> TransferCost {
         (**self).transfer(block)
+    }
+
+    fn transfer_many(&mut self, slab: &BlockSlab, costs: &mut Vec<TransferCost>) {
+        (**self).transfer_many(slab, costs)
     }
 
     fn reset(&mut self) {

@@ -16,7 +16,7 @@
 //!   each segment's transfer mode (non-inverted / inverted / skipped),
 //!   reducing wires but causing mode-word switching.
 
-use crate::block::Block;
+use crate::block::{Block, BlockSlab};
 use crate::cost::{TransferCost, WireBudget};
 use crate::scheme::TransferScheme;
 use crate::wire::{Bus, Wire};
@@ -55,17 +55,15 @@ impl SegmentedBus {
         block.bit_len().div_ceil(self.width)
     }
 
-    /// Extracts the raw value for segment `s` of beat `beat`.
+    /// Extracts the raw value for segment `s` of beat `beat` as one
+    /// word read (bits past the block's end read zero).
     fn value_at(&self, block: &Block, beat: usize, s: usize) -> u64 {
-        let base = beat * self.width + s * self.segment_bits;
-        let mut value = 0u64;
-        for k in 0..self.segment_bits {
-            let i = base + k;
-            if i < block.bit_len() && block.bit(i) {
-                value |= 1 << k;
-            }
-        }
-        value
+        block.word_bits(beat * self.width + s * self.segment_bits, self.segment_bits)
+    }
+
+    /// [`SegmentedBus::value_at`] reading straight from slab words.
+    fn value_at_slab(&self, slab: &BlockSlab, b: usize, beat: usize, s: usize) -> u64 {
+        slab.word_bits(b, beat * self.width + s * self.segment_bits, self.segment_bits)
     }
 
     fn mask(&self) -> u64 {
@@ -128,6 +126,31 @@ impl BusInvertScheme {
     pub fn segment_bits(&self) -> usize {
         self.bus.segment_bits
     }
+
+    /// Drives one segment for one beat with the cheaper polarity
+    /// (counting the invert wire's own flip).
+    fn drive_segment(
+        seg: &mut Bus,
+        inv: &mut Wire,
+        value: u64,
+        mask: u64,
+        data: &mut u64,
+        control: &mut u64,
+    ) {
+        let plain_cost = seg.flips_to(value) + u32::from(inv.level());
+        let inverted_cost = seg.flips_to(!value & mask) + u32::from(!inv.level());
+        if inverted_cost < plain_cost {
+            *data += u64::from(seg.drive(!value & mask));
+            if inv.drive(true) {
+                *control += 1;
+            }
+        } else {
+            *data += u64::from(seg.drive(value));
+            if inv.drive(false) {
+                *control += 1;
+            }
+        }
+    }
 }
 
 impl TransferScheme for BusInvertScheme {
@@ -151,21 +174,14 @@ impl TransferScheme for BusInvertScheme {
         for beat in 0..beats {
             for s in 0..self.bus.segment_count() {
                 let value = self.bus.value_at(block, beat, s);
-                let seg = &mut self.bus.segments[s];
-                let inv = &mut self.invert[s];
-                let plain_cost = seg.flips_to(value) + u32::from(inv.level());
-                let inverted_cost = seg.flips_to(!value & mask) + u32::from(!inv.level());
-                if inverted_cost < plain_cost {
-                    data += u64::from(seg.drive(!value & mask));
-                    if inv.drive(true) {
-                        control += 1;
-                    }
-                } else {
-                    data += u64::from(seg.drive(value));
-                    if inv.drive(false) {
-                        control += 1;
-                    }
-                }
+                Self::drive_segment(
+                    &mut self.bus.segments[s],
+                    &mut self.invert[s],
+                    value,
+                    mask,
+                    &mut data,
+                    &mut control,
+                );
             }
         }
         TransferCost {
@@ -174,6 +190,39 @@ impl TransferScheme for BusInvertScheme {
             sync_transitions: 0,
             latency_cycles: 0,
             cycles: beats as u64,
+        }
+    }
+
+    /// Batched kernel: segment values come straight out of the slab's
+    /// packed words; the polarity decision and word-packed bus drives
+    /// are identical to the scalar path.
+    fn transfer_many(&mut self, slab: &BlockSlab, costs: &mut Vec<TransferCost>) {
+        let beats = slab.bit_len().div_ceil(self.bus.width);
+        let mask = self.bus.mask();
+        costs.reserve(slab.len());
+        for b in 0..slab.len() {
+            let mut data = 0u64;
+            let mut control = 0u64;
+            for beat in 0..beats {
+                for s in 0..self.bus.segment_count() {
+                    let value = self.bus.value_at_slab(slab, b, beat, s);
+                    Self::drive_segment(
+                        &mut self.bus.segments[s],
+                        &mut self.invert[s],
+                        value,
+                        mask,
+                        &mut data,
+                        &mut control,
+                    );
+                }
+            }
+            costs.push(TransferCost {
+                data_transitions: data,
+                control_transitions: control,
+                sync_transitions: 0,
+                latency_cycles: 0,
+                cycles: beats as u64,
+            });
         }
     }
 

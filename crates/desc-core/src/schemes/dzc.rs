@@ -8,7 +8,7 @@
 //! plain binary. The paper sweeps the segment size from 4 to 64 bits
 //! (Fig. 15) and uses the best configuration (8-bit) as a baseline.
 
-use crate::block::Block;
+use crate::block::{Block, BlockSlab};
 use crate::cost::{TransferCost, WireBudget};
 use crate::scheme::TransferScheme;
 use crate::wire::{Bus, Wire};
@@ -73,6 +73,23 @@ impl DzcScheme {
     pub fn segment_bits(&self) -> usize {
         self.segment_bits
     }
+
+    /// Drives one segment for one beat: zero values assert the
+    /// indicator and freeze the data wires; non-zero values deassert it
+    /// and drive plain binary. Returns the data flips.
+    fn drive_segment(seg: &mut Bus, ind: &mut Wire, value: u64, control: &mut u64) -> u32 {
+        if value == 0 {
+            if ind.drive(true) {
+                *control += 1;
+            }
+            0
+        } else {
+            if ind.drive(false) {
+                *control += 1;
+            }
+            seg.drive(value)
+        }
+    }
 }
 
 impl TransferScheme for DzcScheme {
@@ -95,24 +112,10 @@ impl TransferScheme for DzcScheme {
         for beat in 0..beats {
             for (s, (seg, ind)) in self.segments.iter_mut().zip(&mut self.indicators).enumerate() {
                 let base = beat * self.width + s * self.segment_bits;
-                let mut value = 0u64;
-                for k in 0..self.segment_bits {
-                    let i = base + k;
-                    if i < block.bit_len() && block.bit(i) {
-                        value |= 1 << k;
-                    }
-                }
-                if value == 0 {
-                    // Zero segment: assert the indicator, leave data wires.
-                    if ind.drive(true) {
-                        control += 1;
-                    }
-                } else {
-                    if ind.drive(false) {
-                        control += 1;
-                    }
-                    data += u64::from(seg.drive(value));
-                }
+                // Whole-segment extraction (bits past the block's end
+                // read zero, exactly like the undriven bus).
+                let value = block.word_bits(base, self.segment_bits);
+                data += u64::from(Self::drive_segment(seg, ind, value, &mut control));
             }
         }
         TransferCost {
@@ -121,6 +124,35 @@ impl TransferScheme for DzcScheme {
             sync_transitions: 0,
             latency_cycles: 0,
             cycles: beats as u64,
+        }
+    }
+
+    /// Batched kernel: segment values come straight out of the slab's
+    /// packed words, skipping the per-block scratch copy of the
+    /// default loop. Wire state updates are already O(1) per segment
+    /// (word-packed [`Bus`]), so they run in place.
+    fn transfer_many(&mut self, slab: &BlockSlab, costs: &mut Vec<TransferCost>) {
+        let beats = slab.bit_len().div_ceil(self.width);
+        costs.reserve(slab.len());
+        for b in 0..slab.len() {
+            let mut data = 0u64;
+            let mut control = 0u64;
+            for beat in 0..beats {
+                for (s, (seg, ind)) in
+                    self.segments.iter_mut().zip(&mut self.indicators).enumerate()
+                {
+                    let base = beat * self.width + s * self.segment_bits;
+                    let value = slab.word_bits(b, base, self.segment_bits);
+                    data += u64::from(Self::drive_segment(seg, ind, value, &mut control));
+                }
+            }
+            costs.push(TransferCost {
+                data_transitions: data,
+                control_transitions: control,
+                sync_transitions: 0,
+                latency_cycles: 0,
+                cycles: beats as u64,
+            });
         }
     }
 

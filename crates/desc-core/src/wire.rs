@@ -82,6 +82,22 @@ impl Wire {
         self.transitions += 1;
     }
 
+    /// Toggles the wire `n` times in one step — state-identical to `n`
+    /// [`Wire::toggle`] calls, but O(1). The batched DESC path uses
+    /// this for the sync strobe, which toggles once per cycle.
+    pub fn toggle_n(&mut self, n: u64) {
+        self.level ^= n & 1 == 1;
+        self.transitions += n;
+    }
+
+    /// Writes back the result of a batch kernel that tracked this
+    /// wire's activity externally: sets the level and adds `n` recorded
+    /// transitions — state-identical to replaying them one at a time.
+    pub(crate) fn apply_batch(&mut self, level: bool, n: u64) {
+        self.level = level;
+        self.transitions += n;
+    }
+
     /// Resets the transition counter without touching the level, so
     /// per-block costs can be read from long-lived wire state.
     pub fn clear_transitions(&mut self) {
@@ -106,7 +122,12 @@ impl Wire {
 /// ```
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Bus {
-    wires: Vec<Wire>,
+    width: usize,
+    /// Current logic levels, wire `k` → bit `k` — one word instead of a
+    /// `Vec<Wire>`, so a drive is an `xor` + `count_ones` over the whole
+    /// bus rather than a per-wire loop.
+    levels: u64,
+    transitions: u64,
 }
 
 impl Bus {
@@ -118,22 +139,19 @@ impl Bus {
     #[must_use]
     pub fn new(width: usize) -> Self {
         assert!(width > 0 && width <= 64, "bus width {width} out of range (1–64)");
-        Self { wires: vec![Wire::new(); width] }
+        Self { width, levels: 0, transitions: 0 }
     }
 
     /// Bus width in wires.
     #[must_use]
     pub fn width(&self) -> usize {
-        self.wires.len()
+        self.width
     }
 
     /// Current value on the bus (wire `k` → bit `k`).
     #[must_use]
     pub fn value(&self) -> u64 {
-        self.wires
-            .iter()
-            .enumerate()
-            .fold(0, |acc, (k, w)| acc | (u64::from(w.level()) << k))
+        self.levels
     }
 
     /// Drives all wires with `value`, returning the number of wires that
@@ -143,46 +161,41 @@ impl Bus {
     ///
     /// Panics if `value` has bits set beyond the bus width.
     pub fn drive(&mut self, value: u64) -> u32 {
-        if self.width() < 64 {
+        if self.width < 64 {
             assert!(
-                value >> self.width() == 0,
+                value >> self.width == 0,
                 "value {value:#x} exceeds {}-wire bus",
-                self.width()
+                self.width
             );
         }
-        let mut flips = 0;
-        for (k, w) in self.wires.iter_mut().enumerate() {
-            if w.drive((value >> k) & 1 == 1) {
-                flips += 1;
-            }
-        }
+        let flips = (self.levels ^ value).count_ones();
+        self.levels = value;
+        self.transitions += u64::from(flips);
         flips
     }
 
     /// Drives the bus with the bitwise complement of `value` within the
     /// bus width (used by bus-invert coding). Returns flips.
     pub fn drive_inverted(&mut self, value: u64) -> u32 {
-        let mask = if self.width() == 64 { u64::MAX } else { (1u64 << self.width()) - 1 };
+        let mask = if self.width == 64 { u64::MAX } else { (1u64 << self.width) - 1 };
         self.drive(!value & mask)
     }
 
     /// Flips that driving `value` *would* cost, without driving.
     #[must_use]
     pub fn flips_to(&self, value: u64) -> u32 {
-        (self.value() ^ value).count_ones()
+        (self.levels ^ value).count_ones()
     }
 
     /// Total transitions across all wires.
     #[must_use]
     pub fn transitions(&self) -> u64 {
-        self.wires.iter().map(Wire::transitions).sum()
+        self.transitions
     }
 
-    /// Clears all per-wire transition counters.
+    /// Clears the transition counter without touching the levels.
     pub fn clear_transitions(&mut self) {
-        for w in &mut self.wires {
-            w.clear_transitions();
-        }
+        self.transitions = 0;
     }
 }
 
@@ -211,6 +224,20 @@ mod tests {
         w.toggle();
         assert_eq!(w.transitions(), 3);
         assert!(w.level());
+    }
+
+    #[test]
+    fn toggle_n_matches_repeated_toggles() {
+        for n in [0u64, 1, 2, 7, 100] {
+            let mut a = Wire::new();
+            a.drive(true);
+            let mut b = a;
+            a.toggle_n(n);
+            for _ in 0..n {
+                b.toggle();
+            }
+            assert_eq!(a, b, "n = {n}");
+        }
     }
 
     #[test]

@@ -14,7 +14,7 @@ use desc_core::schemes::{
     BinaryScheme, BusInvertScheme, DescScheme, DzcScheme, EncodedZeroSkipBusInvertScheme,
     SkipMode, ZeroSkipBusInvertScheme,
 };
-use desc_core::{Block, ChunkSize, Chunks, TransferScheme};
+use desc_core::{Block, BlockSlab, ChunkSize, Chunks, TransferScheme};
 use proptest::prelude::*;
 
 /// Arbitrary blocks of 1–64 bytes with a bias toward zero bytes (the
@@ -192,6 +192,43 @@ proptest! {
             prop_assert!(
                 cost.cycles <= rounds * max_window,
                 "cycles {} > {rounds} × {max_window}", cost.cycles
+            );
+        }
+    }
+
+    /// Batched `transfer_many` is bit-identical to sequential scalar
+    /// `transfer` calls for every scheme: same per-block costs, and the
+    /// same persistent state (checked with a probe transfer afterwards).
+    #[test]
+    fn transfer_many_matches_sequential_transfers(
+        blocks in prop::collection::vec(arb_cache_block(), 1..12),
+        probe in arb_cache_block(),
+    ) {
+        let schemes: Vec<Box<dyn TransferScheme>> = vec![
+            Box::new(BinaryScheme::new(64)),
+            Box::new(DzcScheme::new(64, 8)),
+            Box::new(BusInvertScheme::new(64, 32)),
+            Box::new(ZeroSkipBusInvertScheme::new(64, 32)),
+            Box::new(EncodedZeroSkipBusInvertScheme::new(64, 16)),
+            Box::new(DescScheme::new(128, ChunkSize::new(4).expect("valid"), SkipMode::None)),
+            Box::new(DescScheme::new(128, ChunkSize::new(4).expect("valid"), SkipMode::Zero)),
+            Box::new(DescScheme::new(128, ChunkSize::new(4).expect("valid"), SkipMode::LastValue)),
+        ];
+        let mut slab = BlockSlab::with_capacity(64, blocks.len());
+        for block in &blocks {
+            slab.push(block);
+        }
+        for scalar in schemes {
+            let mut scalar = scalar;
+            let mut batched = scalar.clone_box();
+            let expected: Vec<_> = blocks.iter().map(|b| scalar.transfer(b)).collect();
+            let mut got = Vec::new();
+            batched.transfer_many(&slab, &mut got);
+            prop_assert_eq!(&expected, &got, "costs diverged for {}", scalar.name());
+            prop_assert_eq!(
+                scalar.transfer(&probe),
+                batched.transfer(&probe),
+                "state diverged for {}", scalar.name()
             );
         }
     }

@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod bank;
+mod batch;
 pub mod cache;
 pub mod coherence;
 pub mod config;

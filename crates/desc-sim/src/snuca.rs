@@ -27,6 +27,7 @@
 //! **bit-identical for any shard count**.
 
 use crate::bank::{home_bank, BankScheduler};
+use crate::batch::{scalar_transfers, ChannelBatch, FLUSH_CAP};
 use crate::cache::{CacheOutcome, SetAssocCache};
 use crate::config::SimConfig;
 use crate::dram::Dram;
@@ -86,6 +87,19 @@ struct PartitionOut {
     /// Miss requests for the shared DRAM, exchanged at the barrier.
     events: Vec<MissEvent>,
     hit_latency_hist: desc_telemetry::LocalHistogram,
+}
+
+/// An access whose bookkeeping is deferred until its channel's batch
+/// drains: the S-NUCA energy sums are `f64` accumulations whose order
+/// must match the per-access scalar loop bit for bit, so *everything*
+/// except the directory lookup and the value-stream draws replays at
+/// drain time, in program order.
+struct PendingAccess {
+    idx: u32,
+    addr: u64,
+    bank: usize,
+    miss: bool,
+    writeback: bool,
 }
 
 /// A cross-bank DRAM request exchanged at the epoch barrier.
@@ -253,36 +267,71 @@ impl SnucaSim {
                 events: Vec::new(),
                 hit_latency_hist: desc_telemetry::LocalHistogram::new(),
             };
-            for &(i, Access { addr, write, core }) in &meas_parts[p] {
-                let bank = home_bank(addr, block_bytes, banks_n);
-                let wire_lat = model.bank_latency_cycles(bank);
-                let arrival = (f64::from(i) * base_cpa) as u64;
-                out.array_energy_j += cache_model.tag_access_energy();
+            // Transfers are batched per channel; the queued accesses
+            // replay in program order at drain time, so the f64 energy
+            // accumulation order — and with it every result bit — is
+            // identical to the per-access scalar loop (which the
+            // `DESC_SCALAR_TRANSFERS` toggle forces).
+            let scalar = scalar_transfers();
+            let mut batches: Vec<ChannelBatch> =
+                (0..channels.len()).map(|_| ChannelBatch::new(cfg.l2.block_bytes)).collect();
+            let mut pending: Vec<PendingAccess> = Vec::with_capacity(FLUSH_CAP);
 
-                // (occupancy cycles, effective latency cycles) — the
-                // effective window (Fig. 21) makes the
-                // requester-visible latency shorter than the
-                // port-occupancy window.
-                let transfer = |out: &mut PartitionOut,
-                                    channels: &mut [(
-                    Box<dyn TransferScheme>,
-                    desc_workloads::ValueStream,
-                )]| -> (u64, u64) {
-                    let (scheme, values) = &mut channels[bank / parts];
-                    // Borrow the stream's internal scratch block — no
-                    // per-transfer allocation, identical bytes.
-                    let cost = scheme.transfer(values.next_block_ref());
-                    let transitions = cost.total_transitions();
-                    out.transitions += transitions;
-                    out.wire_energy_j +=
-                        transitions as f64 * model.bank_energy_per_transition(bank);
-                    (cost.cycles, cost.latency())
-                };
+            let drain = |channels: &mut [(Box<dyn TransferScheme>, desc_workloads::ValueStream)],
+                         batches: &mut [ChannelBatch],
+                         pending: &mut Vec<PendingAccess>,
+                         sched: &mut BankScheduler,
+                         out: &mut PartitionOut| {
+                if pending.is_empty() {
+                    return;
+                }
+                for (ch, batch) in batches.iter_mut().enumerate() {
+                    if batch.queued() > 0 {
+                        batch.encode(channels[ch].0.as_mut(), scalar);
+                    }
+                }
+                for pa in pending.drain(..) {
+                    let bank = pa.bank;
+                    let wire_lat = model.bank_latency_cycles(bank);
+                    let arrival = (f64::from(pa.idx) * base_cpa) as u64;
+                    out.array_energy_j += cache_model.tag_access_energy();
 
-                match l2.access(addr, write, core) {
-                    CacheOutcome::Hit => {
+                    // (occupancy cycles, effective latency cycles) —
+                    // the effective window (Fig. 21) makes the
+                    // requester-visible latency shorter than the
+                    // port-occupancy window.
+                    let take = |out: &mut PartitionOut, batch: &mut ChannelBatch| -> (u64, u64) {
+                        let cost = batch.next_cost();
+                        let transitions = cost.total_transitions();
+                        out.transitions += transitions;
+                        out.wire_energy_j +=
+                            transitions as f64 * model.bank_energy_per_transition(bank);
+                        (cost.cycles, cost.latency())
+                    };
+
+                    let batch = &mut batches[bank / parts];
+                    if pa.miss {
+                        out.misses += 1;
+                        let (fill, fill_lat) = take(out, batch);
+                        out.array_energy_j += cache_model.array_write_energy();
+                        let mut service = ARRAY_CYCLES + fill;
+                        if pa.writeback {
+                            service += take(out, batch).0;
+                            out.array_energy_j += cache_model.array_read_energy();
+                        }
+                        let (start, queue) = sched.schedule(bank, arrival, service);
+                        out.events.push(MissEvent {
+                            idx: u64::from(pa.idx),
+                            addr: pa.addr,
+                            issue: start + ARRAY_CYCLES + wire_lat,
+                            arrival,
+                        });
+                        // The DRAM share (completion − arrival) is
+                        // added at the epoch barrier below.
+                        out.latency_sum += queue + fill_lat + iface;
+                    } else {
                         out.hits += 1;
-                        let (cycles, lat) = transfer(&mut out, &mut channels);
+                        let (cycles, lat) = take(out, batch);
                         out.array_energy_j += cache_model.array_read_energy();
                         let latency = ARRAY_CYCLES + wire_lat + lat + iface;
                         out.hit_latency_sum += latency;
@@ -292,28 +341,34 @@ impl SnucaSim {
                         let (_, queue) = sched.schedule(bank, arrival, ARRAY_CYCLES + cycles);
                         out.latency_sum += latency + queue;
                     }
-                    CacheOutcome::Miss { writeback } => {
-                        out.misses += 1;
-                        let (fill, fill_lat) = transfer(&mut out, &mut channels);
-                        out.array_energy_j += cache_model.array_write_energy();
-                        let mut service = ARRAY_CYCLES + fill;
-                        if writeback {
-                            service += transfer(&mut out, &mut channels).0;
-                            out.array_energy_j += cache_model.array_read_energy();
-                        }
-                        let (start, queue) = sched.schedule(bank, arrival, service);
-                        out.events.push(MissEvent {
-                            idx: u64::from(i),
-                            addr,
-                            issue: start + ARRAY_CYCLES + wire_lat,
-                            arrival,
-                        });
-                        // The DRAM share (completion − arrival) is
-                        // added at the epoch barrier below.
-                        out.latency_sum += queue + fill_lat + iface;
-                    }
+                }
+            };
+
+            let mut queued_blocks = 0usize;
+            for &(i, Access { addr, write, core }) in &meas_parts[p] {
+                let bank = home_bank(addr, block_bytes, banks_n);
+                // Queue the access's block(s) — the stream's scratch
+                // block is copied into the slab, so the draw order and
+                // bytes are identical to per-access transfers.
+                let (miss, writeback) = match l2.access(addr, write, core) {
+                    CacheOutcome::Hit => (false, false),
+                    CacheOutcome::Miss { writeback } => (true, writeback),
+                };
+                let (_, values) = &mut channels[bank / parts];
+                let batch = &mut batches[bank / parts];
+                batch.push(values.next_block_ref());
+                queued_blocks += 1;
+                if miss && writeback {
+                    batch.push(values.next_block_ref());
+                    queued_blocks += 1;
+                }
+                pending.push(PendingAccess { idx: i, addr, bank, miss, writeback });
+                if queued_blocks >= FLUSH_CAP {
+                    drain(&mut channels, &mut batches, &mut pending, &mut sched, &mut out);
+                    queued_blocks = 0;
                 }
             }
+            drain(&mut channels, &mut batches, &mut pending, &mut sched, &mut out);
             out.horizon = sched.horizon();
             out
         });

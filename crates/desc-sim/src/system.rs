@@ -19,6 +19,7 @@
 //! ([`SimConfig::dram_epoch_cycles`]).
 
 use crate::bank::{home_bank, BankScheduler};
+use crate::batch::{scalar_transfers, ChannelBatch, FLUSH_CAP};
 use crate::cache::{CacheOutcome, SetAssocCache};
 use crate::config::SimConfig;
 use crate::dram::Dram;
@@ -86,6 +87,23 @@ struct AccessRecord {
     service: u64,
     /// Intrinsic latency excluding queueing and DRAM.
     base_latency: u64,
+}
+
+/// An access whose transfer cost(s) are still queued in the channel's
+/// [`ChannelBatch`]; the directory outcome and all order-insensitive
+/// counters were settled when it was enqueued.
+struct PendingAccess {
+    idx: u32,
+    addr: u64,
+    bank: usize,
+    kind: PendingKind,
+}
+
+/// Which transfer costs a pending access consumes at drain time: one
+/// for a hit or a clean miss fill, two for a miss with writeback.
+enum PendingKind {
+    Hit { write: bool },
+    Miss { writeback: bool },
 }
 
 /// One bank partition's functional-phase output. Every field merges
@@ -247,6 +265,16 @@ impl SystemSim {
         // into the global registry in fixed bank order at the end.
         let telemetry = desc_telemetry::enabled();
 
+        // Transfers are batched: value-stream blocks accumulate into a
+        // per-channel slab and are encoded through
+        // `TransferScheme::transfer_many` in bounded flushes; the
+        // queued accesses then replay in program order against the
+        // returned costs, so every result is bit-identical to the
+        // per-access scalar path (which the `DESC_SCALAR_TRANSFERS`
+        // toggle forces, for byte-compares).
+        let scalar = scalar_transfers();
+        let lv_penalty = self.config.last_value_write_penalty;
+
         // ---- Functional phase: directory, transfers, transitions. ---
         // Each partition owns its bank's directory slice, channel wire
         // state, address bus, and value stream; partitions never share
@@ -284,6 +312,83 @@ impl SystemSim {
                 invalidations: 0,
                 hit_latency_hist: desc_telemetry::LocalHistogram::new(),
             };
+            let mut batch = ChannelBatch::new(cfg.l2.block_bytes);
+            let mut pending: Vec<PendingAccess> = Vec::with_capacity(FLUSH_CAP);
+
+            // Replays the queued accesses against the drained costs in
+            // program order — the exact per-access bookkeeping the
+            // scalar loop did, just decoupled from encoding.
+            let drain = |batch: &mut ChannelBatch,
+                             scheme: &mut Box<dyn TransferScheme>,
+                             pending: &mut Vec<PendingAccess>,
+                             out: &mut PartitionSim| {
+                if pending.is_empty() {
+                    return;
+                }
+                batch.encode(scheme.as_mut(), scalar);
+                for pa in pending.drain(..) {
+                    let take = |out: &mut PartitionSim,
+                                    batch: &mut ChannelBatch,
+                                    write_dir: bool|
+                     -> desc_core::TransferCost {
+                        let cost = batch.next_cost();
+                        out.transfer.record(cost);
+                        let mut transitions = cost.total_transitions();
+                        if is_last_value && write_dir {
+                            // Last-value skipping broadcasts write data
+                            // across subbanks to keep the controller's
+                            // last-value table coherent (§5.2): extra
+                            // H-tree energy.
+                            transitions +=
+                                (cost.data_transitions as f64 * lv_penalty).round() as u64;
+                        }
+                        out.activity.htree_transitions += transitions;
+                        cost
+                    };
+                    match pa.kind {
+                        PendingKind::Hit { write } => {
+                            let cost = take(out, batch, write);
+                            // Effective latency (Fig. 21 window model);
+                            // port occupancy uses the full window.
+                            let latency = array + tree + cost.latency() + iface;
+                            out.hit_latency_sum += latency;
+                            if telemetry {
+                                out.hit_latency_hist.record(latency);
+                            }
+                            out.records.push(AccessRecord {
+                                idx: u64::from(pa.idx),
+                                addr: pa.addr,
+                                bank: pa.bank,
+                                miss: false,
+                                service: array + cost.cycles,
+                                base_latency: latency,
+                            });
+                        }
+                        PendingKind::Miss { writeback } => {
+                            // Fill: one block moves over the H-tree
+                            // into the bank (and onward to the
+                            // requester).
+                            let fill = take(out, batch, true);
+                            let mut service = array + fill.cycles;
+                            if writeback {
+                                let wb = take(out, batch, false);
+                                service += wb.cycles;
+                            }
+                            out.records.push(AccessRecord {
+                                idx: u64::from(pa.idx),
+                                addr: pa.addr,
+                                bank: pa.bank,
+                                miss: true,
+                                service,
+                                // DRAM latency is added during the
+                                // timing phase.
+                                base_latency: miss_detect + fill.latency() + iface,
+                            });
+                        }
+                    }
+                }
+            };
+
             for &(i, Access { addr, write, core }) in &meas_parts[p] {
                 let bank = home_bank(addr, block_bytes, banks_n);
                 let outcome = l2.access(addr, write, core);
@@ -291,79 +396,48 @@ impl SystemSim {
                 let addr_flips = u64::from(addr_bus.drive((addr >> 6) & ((1 << 48) - 1)));
                 out.activity.htree_transitions += addr_flips;
 
-                let mut transfer_one = |scheme: &mut Box<dyn TransferScheme>,
-                                        values: &mut desc_workloads::ValueStream,
-                                        write_dir: bool|
-                 -> desc_core::TransferCost {
-                    // Borrow the stream's internal scratch block — no
-                    // per-transfer allocation, identical bytes.
-                    let cost = scheme.transfer(values.next_block_ref());
-                    out.transfer.record(cost);
-                    let mut transitions = cost.total_transitions();
-                    if is_last_value && write_dir {
-                        // Last-value skipping broadcasts write data
-                        // across subbanks to keep the controller's
-                        // last-value table coherent (§5.2): extra
-                        // H-tree energy.
-                        transitions += (cost.data_transitions as f64
-                            * self.config.last_value_write_penalty)
-                            .round() as u64;
-                    }
-                    out.activity.htree_transitions += transitions;
-                    cost
-                };
-
+                // Queue the access's block(s) — the stream's scratch
+                // block is copied into the slab, so the draw order and
+                // bytes are identical to per-access transfers. Counters
+                // that don't need the cost are settled here.
                 match outcome {
                     CacheOutcome::Hit => {
-                        let cost = transfer_one(&mut scheme, &mut values, write);
+                        batch.push(values.next_block_ref());
                         out.hits += 1;
                         if write {
                             out.activity.array_writes += 1;
                         } else {
                             out.activity.array_reads += 1;
                         }
-                        // Effective latency (Fig. 21 window model);
-                        // port occupancy uses the full window.
-                        let latency = array + tree + cost.latency() + iface;
-                        out.hit_latency_sum += latency;
-                        if telemetry {
-                            out.hit_latency_hist.record(latency);
-                        }
-                        out.records.push(AccessRecord {
-                            idx: u64::from(i),
+                        pending.push(PendingAccess {
+                            idx: i,
                             addr,
                             bank,
-                            miss: false,
-                            service: array + cost.cycles,
-                            base_latency: latency,
+                            kind: PendingKind::Hit { write },
                         });
                     }
                     CacheOutcome::Miss { writeback } => {
-                        // Fill: one block moves over the H-tree into
-                        // the bank (and onward to the requester).
-                        let fill = transfer_one(&mut scheme, &mut values, true);
+                        batch.push(values.next_block_ref());
                         out.misses += 1;
                         out.activity.array_writes += 1;
-                        let mut service = array + fill.cycles;
                         if writeback {
                             out.writebacks += 1;
-                            let wb = transfer_one(&mut scheme, &mut values, false);
+                            batch.push(values.next_block_ref());
                             out.activity.array_reads += 1;
-                            service += wb.cycles;
                         }
-                        out.records.push(AccessRecord {
-                            idx: u64::from(i),
+                        pending.push(PendingAccess {
+                            idx: i,
                             addr,
                             bank,
-                            miss: true,
-                            service,
-                            // DRAM latency is added during the timing
-                            // phase.
-                            base_latency: miss_detect + fill.latency() + iface,
+                            kind: PendingKind::Miss { writeback },
                         });
                     }
                 }
+                if batch.queued() >= FLUSH_CAP {
+                    drain(&mut batch, &mut scheme, &mut pending, &mut out);
+                }
             }
+            drain(&mut batch, &mut scheme, &mut pending, &mut out);
             out.invalidations = l2.invalidations() - invalidations_at_warmup;
             out
         });

@@ -1,12 +1,15 @@
 #!/usr/bin/env python3
-"""Warn-only throughput regression check for BENCH_pipeline.json.
+"""Warn-only throughput regression check for the bench history files.
 
-Compares every row of the latest history entry (rows are keyed on
-scheme + jobs + shards) against the most recent earlier entry that
-measured the same row, and prints a warning for every row that slowed
-down past the threshold. Always exits 0: bench numbers on shared CI
-runners are noisy, so regressions are surfaced in the log rather than
-failing the build.
+Compares every row of the latest history entry against the most recent
+earlier entry that measured the same row, and prints a warning for
+every row that slowed down past the threshold. Rows are keyed on
+whatever axes they carry (scheme/mode/micro + jobs/shards/batch), and
+the first throughput-like metric present is compared — so new axes
+(e.g. the batched-transfer rows in BENCH_link.json) are learned
+automatically and never warn the first time they appear. Always exits
+0: bench numbers on shared CI runners are noisy, so regressions are
+surfaced in the log rather than failing the build.
 """
 
 import json
@@ -14,12 +17,25 @@ import sys
 
 THRESHOLD = 0.90  # warn when current throughput < 90% of previous
 
+# First metric present in a row wins; all are higher-is-better rates.
+METRICS = (
+    "cells_per_sec",
+    "batched_blocks_per_sec",
+    "current_transfers_per_sec",
+    "word_fold_per_sec",
+    "accesses_per_sec",
+)
+
 
 def rows(entry):
     out = {}
     for r in entry.get("results", []):
-        key = (r.get("scheme"), r.get("jobs", 1), r.get("shards", 1))
-        out[key] = r.get("cells_per_sec", 0.0)
+        name = r.get("scheme") or r.get("mode") or r.get("micro")
+        key = (name, r.get("jobs", 1), r.get("shards", 1), r.get("batch", 0))
+        for metric in METRICS:
+            if metric in r:
+                out[key] = (metric, r[metric])
+                break
     return out
 
 
@@ -34,21 +50,22 @@ def main():
     current = rows(history[-1])
     warned = 0
     compared = 0
-    for key, now in sorted(current.items()):
+    for key, (metric, now) in sorted(current.items()):
         before = None
         for entry in reversed(history[:-1]):
-            before = rows(entry).get(key)
-            if before:
+            prior = rows(entry).get(key)
+            if prior and prior[0] == metric and prior[1]:
+                before = prior[1]
                 break
         if not before:
-            continue
+            continue  # new row (or new axis) — learn it, don't warn
         compared += 1
         ratio = now / before
-        scheme, jobs, shards = key
-        line = (
-            f"{scheme} jobs={jobs} shards={shards}: "
-            f"{before:.2f} -> {now:.2f} cells/s ({ratio:.2f}x)"
-        )
+        name, jobs, shards, batch = key
+        axes = f"jobs={jobs} shards={shards}"
+        if batch:
+            axes += f" batch={batch}"
+        line = f"{name} {axes}: {before:.2f} -> {now:.2f} {metric} ({ratio:.2f}x)"
         if ratio < THRESHOLD:
             warned += 1
             print(f"WARNING: {line}")
