@@ -21,6 +21,13 @@
 //! shrinks, so sweeping jobs takes one process per value — see
 //! `scripts/bench_scaling.sh`); `--shards A,B,C` selects the shard
 //! counts to sweep (default `1,2,4,8`).
+//!
+//! `--trace PATH` additionally enables telemetry and writes a
+//! Chrome/Perfetto execution timeline of the whole bench run (one lane
+//! per pool thread; see `docs/TELEMETRY.md`) — useful for eyeballing
+//! where partition tasks actually land as the shard cap sweeps.
+//! Tracing changes wall-clock slightly, so rates from traced runs
+//! should not be compared against untraced history entries.
 
 use desc_bench::{best_rate, Harness};
 use desc_core::schemes::SchemeKind;
@@ -38,12 +45,14 @@ struct Args {
     out_path: String,
     jobs: usize,
     shard_counts: Vec<usize>,
+    trace_path: Option<std::path::PathBuf>,
 }
 
 fn parse_args() -> Args {
     let mut out_path = "BENCH_pipeline.json".to_owned();
     let mut jobs = 1usize;
     let mut shard_counts = vec![1, 2, 4, 8];
+    let mut trace_path = None;
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -51,6 +60,15 @@ fn parse_args() -> Args {
                 Some(Ok(n)) if n > 0 => jobs = n,
                 _ => {
                     eprintln!("--jobs needs a positive integer argument");
+                    std::process::exit(1);
+                }
+            },
+            "--trace" => match iter.next() {
+                Some(path) if !path.is_empty() => {
+                    trace_path = Some(std::path::PathBuf::from(path));
+                }
+                _ => {
+                    eprintln!("--trace needs an output path argument");
                     std::process::exit(1);
                 }
             },
@@ -76,11 +94,14 @@ fn parse_args() -> Args {
             }
         }
     }
-    Args { out_path, jobs, shard_counts }
+    Args { out_path, jobs, shard_counts, trace_path }
 }
 
 fn main() {
     let args = parse_args();
+    if args.trace_path.is_some() {
+        desc_telemetry::set_enabled(true);
+    }
     // The pool is sized by --jobs alone; shard counts only cap how many
     // partition tasks run concurrently within it, so jobs=1 measures
     // pure decomposition overhead with zero extra threads.
@@ -137,6 +158,17 @@ fn main() {
                 black_box(sim.run(kind.build_paper_config(), ACCESSES).total_energy_j());
             });
             record(&mut harness, label, shards, cells_per_sec);
+        }
+    }
+
+    if let Some(path) = &args.trace_path {
+        let spans = desc_telemetry::drain_spans();
+        match desc_telemetry::write_chrome_trace(path, "bench_pipeline", &spans) {
+            Ok(()) => println!("wrote execution trace to {}", path.display()),
+            Err(e) => {
+                eprintln!("failed to write trace to {}: {e}", path.display());
+                std::process::exit(1);
+            }
         }
     }
 

@@ -105,6 +105,8 @@ pub fn pool_stanza() -> Json {
         .with("tasks_inline", Json::UInt(s.tasks_inline))
         .with("tasks_helped", Json::UInt(s.tasks_helped))
         .with("tasks_stolen", Json::UInt(s.tasks_stolen))
+        .with("regions_nested", Json::UInt(s.regions_nested))
+        .with("cap_rejections", Json::UInt(s.cap_rejections))
 }
 
 /// Shared scaffolding for the bench binaries: collects result rows,

@@ -40,6 +40,20 @@
 //! wait graph is well-founded for any pool size, including a pool of
 //! zero workers.
 //!
+//! # Observability
+//!
+//! When `desc-telemetry` is enabled, the pool places itself on the
+//! execution timeline (see `docs/TELEMETRY.md`): every
+//! [`run_labeled`]/[`run_mut_labeled`] call opens a `region` span on
+//! the submitting thread, every task records its queue wait
+//! (submit→start) and run time into a per-label aggregation, and every
+//! executing thread accumulates busy time under its stable
+//! [`desc_telemetry::current_worker`] ordinal. [`utilization`] exports
+//! the whole picture as the `pool_utilization` stanza of
+//! `desc-run-report/v1`. When telemetry is disabled none of this reads
+//! a clock or takes a lock — the only residue is the pool's lifetime
+//! [`stats`] counters, which are plain relaxed atomics on cold paths.
+//!
 //! # Example
 //!
 //! ```
@@ -56,11 +70,14 @@
 // [`Region`]: the submitting call blocks until `done == total` before
 // its borrows go out of scope.
 
-use std::cell::UnsafeCell;
+use std::cell::{Cell, UnsafeCell};
+use std::collections::BTreeMap;
 use std::mem::MaybeUninit;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+use desc_telemetry::Histogram;
 
 /// Snapshot of the pool's lifetime statistics, exposed so benchmark
 /// harnesses can stamp a `pool` stanza into their JSON output. These
@@ -85,6 +102,86 @@ pub struct PoolStats {
     pub tasks_helped: u64,
     /// Tasks stolen by pool workers from a submitting caller.
     pub tasks_stolen: u64,
+    /// Regions submitted from inside another region's task (nested
+    /// fork-join, e.g. a sweep cell running a sharded simulation).
+    pub regions_nested: u64,
+    /// Times a worker raced for a region slot and lost to its
+    /// concurrency cap — a saturation signal: how often spare threads
+    /// found work they were not allowed to take.
+    pub cap_rejections: u64,
+}
+
+/// Per-label timing aggregation for one region family (`"cells"`,
+/// `"parts"`, …). Standalone [`Histogram`]s, *not* registry metrics —
+/// wall-clock queue waits differ run to run, and the registry must
+/// stay byte-identical across pool shapes.
+#[derive(Default)]
+struct RegionAgg {
+    tasks: AtomicU64,
+    queue_wait: Histogram,
+    queue_wait_max: AtomicU64,
+    run: Histogram,
+    run_max: AtomicU64,
+}
+
+impl RegionAgg {
+    fn record(&self, queue_wait_us: u64, run_us: u64) {
+        self.tasks.fetch_add(1, Ordering::Relaxed);
+        self.queue_wait.record(queue_wait_us);
+        self.queue_wait_max.fetch_max(queue_wait_us, Ordering::Relaxed);
+        self.run.record(run_us);
+        self.run_max.fetch_max(run_us, Ordering::Relaxed);
+    }
+}
+
+/// Per-label region aggregations, keyed by the `&'static str` label so
+/// iteration order (and therefore report output order) is stable.
+fn region_aggs() -> &'static Mutex<BTreeMap<&'static str, Arc<RegionAgg>>> {
+    static AGGS: OnceLock<Mutex<BTreeMap<&'static str, Arc<RegionAgg>>>> = OnceLock::new();
+    AGGS.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+fn region_agg(label: &'static str) -> Arc<RegionAgg> {
+    let mut aggs = region_aggs().lock().unwrap_or_else(|e| e.into_inner());
+    Arc::clone(aggs.entry(label).or_default())
+}
+
+/// Per-thread busy-time cell, keyed by the thread's telemetry worker
+/// ordinal so utilization rows line up with Chrome-trace lanes.
+#[derive(Default)]
+struct WorkerCell {
+    busy_us: AtomicU64,
+    tasks: AtomicU64,
+}
+
+fn worker_cells() -> &'static Mutex<BTreeMap<u32, Arc<WorkerCell>>> {
+    static CELLS: OnceLock<Mutex<BTreeMap<u32, Arc<WorkerCell>>>> = OnceLock::new();
+    CELLS.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+thread_local! {
+    /// This thread's busy cell (registered on first timed task).
+    static WORKER_CELL: Arc<WorkerCell> = {
+        let worker = desc_telemetry::current_worker();
+        let mut cells = worker_cells().lock().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(cells.entry(worker).or_default())
+    };
+
+    /// True while this thread is executing a region task; a region
+    /// submitted in that state is a nested fork-join.
+    static IN_TASK: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Restores the previous [`IN_TASK`] value even when the task unwinds,
+/// so a caught panic cannot leave the thread permanently "in a task".
+struct InTaskGuard {
+    was: bool,
+}
+
+impl Drop for InTaskGuard {
+    fn drop(&mut self) {
+        IN_TASK.with(|f| f.set(self.was));
+    }
 }
 
 /// One fork-join scope: `total` indexed tasks behind a type-erased
@@ -104,6 +201,13 @@ struct Region {
     ctx: *const (),
     total: usize,
     cap: usize,
+    /// Trace-timebase microsecond at which the region was submitted;
+    /// per-task queue wait is measured from here. Only meaningful when
+    /// `agg` is set.
+    submitted_us: u64,
+    /// Timing sink, captured at submit time iff telemetry was enabled
+    /// — the per-task clock reads in `execute_until_empty` key off it.
+    agg: Option<Arc<RegionAgg>>,
     /// Next unclaimed task index; CAS-claimed so it never exceeds
     /// `total` (which keeps the cancellation arithmetic on the panic
     /// path exact).
@@ -127,12 +231,25 @@ unsafe impl Send for Region {}
 unsafe impl Sync for Region {}
 
 impl Region {
-    fn new(task: unsafe fn(*const (), usize), ctx: *const (), total: usize, cap: usize) -> Self {
+    fn new(
+        task: unsafe fn(*const (), usize),
+        ctx: *const (),
+        total: usize,
+        cap: usize,
+        label: &'static str,
+    ) -> Self {
+        let (submitted_us, agg) = if desc_telemetry::enabled() {
+            (desc_telemetry::now_us(), Some(region_agg(label)))
+        } else {
+            (0, None)
+        };
         Region {
             task,
             ctx,
             total,
             cap,
+            submitted_us,
+            agg,
             next: AtomicUsize::new(0),
             // The submitting caller counts as already active.
             active: AtomicUsize::new(1),
@@ -192,9 +309,21 @@ impl Region {
         let mut ran = 0u64;
         while let Some(i) = self.claim() {
             ran += 1;
+            let start_us = self.agg.as_ref().map(|_| desc_telemetry::now_us());
             // SAFETY: `i` was claimed exactly once and `ctx` is alive
             // (struct invariant).
-            let outcome = catch_unwind(AssertUnwindSafe(|| unsafe { (self.task)(self.ctx, i) }));
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                let _in_task = InTaskGuard { was: IN_TASK.with(|f| f.replace(true)) };
+                unsafe { (self.task)(self.ctx, i) }
+            }));
+            if let (Some(agg), Some(start_us)) = (&self.agg, start_us) {
+                let run_us = desc_telemetry::now_us().saturating_sub(start_us);
+                agg.record(start_us.saturating_sub(self.submitted_us), run_us);
+                WORKER_CELL.with(|cell| {
+                    cell.busy_us.fetch_add(run_us, Ordering::Relaxed);
+                    cell.tasks.fetch_add(1, Ordering::Relaxed);
+                });
+            }
             match outcome {
                 Ok(()) => self.complete(1),
                 Err(payload) => {
@@ -255,6 +384,8 @@ struct Pool {
     inline: AtomicU64,
     helped: AtomicU64,
     stolen: AtomicU64,
+    nested: AtomicU64,
+    rejected: AtomicU64,
 }
 
 impl Pool {
@@ -270,6 +401,8 @@ impl Pool {
             inline: AtomicU64::new(0),
             helped: AtomicU64::new(0),
             stolen: AtomicU64::new(0),
+            nested: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
         })
     }
 
@@ -313,6 +446,10 @@ impl Pool {
                 region.exit();
                 // Leaving may free cap headroom for a sibling worker.
                 self.work.notify_all();
+            } else {
+                // Lost the race to the concurrency cap: spare capacity
+                // existed but the region was not allowed to use it.
+                self.rejected.fetch_add(1, Ordering::Relaxed);
             }
         }
     }
@@ -376,6 +513,81 @@ pub fn stats() -> PoolStats {
         tasks_inline: pool.inline.load(Ordering::Relaxed),
         tasks_helped: pool.helped.load(Ordering::Relaxed),
         tasks_stolen: pool.stolen.load(Ordering::Relaxed),
+        regions_nested: pool.nested.load(Ordering::Relaxed),
+        cap_rejections: pool.rejected.load(Ordering::Relaxed),
+    }
+}
+
+/// Wall-clock utilization of the pool on the shared trace timebase:
+/// per-worker busy time and per-region-label queue-wait / run-time
+/// distributions, in the shape the `desc-run-report/v1`
+/// `pool_utilization` stanza serializes. Only populated while
+/// telemetry is enabled (per-task clocks are off otherwise); worker
+/// ordinals match span lanes and [`desc_telemetry::worker_names`].
+#[must_use]
+pub fn utilization() -> desc_telemetry::PoolUtilization {
+    let names = desc_telemetry::worker_names();
+    let workers = worker_cells()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .iter()
+        .map(|(&worker, cell)| desc_telemetry::WorkerUtilization {
+            worker,
+            name: names
+                .get(worker as usize)
+                .cloned()
+                .unwrap_or_else(|| format!("thread-{worker}")),
+            busy_us: cell.busy_us.load(Ordering::Relaxed),
+            tasks: cell.tasks.load(Ordering::Relaxed),
+        })
+        .collect();
+    let regions = region_aggs()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .iter()
+        .map(|(&label, agg)| desc_telemetry::RegionUtilization {
+            label: label.to_owned(),
+            tasks: agg.tasks.load(Ordering::Relaxed),
+            queue_wait_us_sum: agg.queue_wait.sum(),
+            queue_wait_us_max: agg.queue_wait_max.load(Ordering::Relaxed),
+            queue_wait_us_buckets: desc_telemetry::RegionUtilization::sparse_buckets(
+                &agg.queue_wait.buckets(),
+            ),
+            run_us_sum: agg.run.sum(),
+            run_us_max: agg.run_max.load(Ordering::Relaxed),
+            run_us_buckets: desc_telemetry::RegionUtilization::sparse_buckets(&agg.run.buckets()),
+        })
+        .collect();
+    desc_telemetry::PoolUtilization {
+        elapsed_us: desc_telemetry::now_us(),
+        workers,
+        regions,
+    }
+}
+
+/// Per-task timing for the serial (inline) fast path, so a 1-job run
+/// still produces a populated `pool_utilization` stanza and honest
+/// busy-time lanes. Constructed only when telemetry is enabled.
+struct TaskTimer {
+    agg: Arc<RegionAgg>,
+    opened_us: u64,
+}
+
+impl TaskTimer {
+    fn new(label: &'static str) -> Self {
+        TaskTimer { agg: region_agg(label), opened_us: desc_telemetry::now_us() }
+    }
+
+    fn time<R>(&self, g: impl FnOnce() -> R) -> R {
+        let start_us = desc_telemetry::now_us();
+        let result = g();
+        let run_us = desc_telemetry::now_us().saturating_sub(start_us);
+        self.agg.record(start_us.saturating_sub(self.opened_us), run_us);
+        WORKER_CELL.with(|cell| {
+            cell.busy_us.fetch_add(run_us, Ordering::Relaxed);
+            cell.tasks.fetch_add(1, Ordering::Relaxed);
+        });
+        result
     }
 }
 
@@ -384,9 +596,25 @@ struct RunCtx<'a, T, F> {
     slots: &'a [Slot<T>],
 }
 
+/// [`run_labeled`] under the generic region label `"region"`.
+pub fn run<T, F>(total: usize, cap: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    run_labeled("region", total, cap, f)
+}
+
 /// Runs `f(0)..f(total-1)` with at most `cap` tasks in flight at once
 /// (the caller included) and returns the results in index order —
 /// bit-identical to the serial loop for any pool size or schedule.
+///
+/// `label` names the region family on the execution timeline: it
+/// becomes a `region` span on the submitting thread and keys the
+/// per-label queue-wait / run-time distributions that [`utilization`]
+/// reports (the DESC layers use `"cells"` for sweep cells and
+/// `"parts"`/`"parts_mut"` for bank partitions). Labels are `'static`
+/// so the hot path never hashes or allocates for attribution.
 ///
 /// If any task panics, remaining unclaimed tasks are cancelled and the
 /// first panic is re-raised on the calling thread after every in-flight
@@ -394,7 +622,7 @@ struct RunCtx<'a, T, F> {
 ///
 /// May be called from inside another `run` task (nested fork-join);
 /// see the crate docs for why this cannot deadlock.
-pub fn run<T, F>(total: usize, cap: usize, f: F) -> Vec<T>
+pub fn run_labeled<T, F>(label: &'static str, total: usize, cap: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
@@ -403,6 +631,10 @@ where
         return Vec::new();
     }
     let pool = Pool::global();
+    if IN_TASK.with(Cell::get) {
+        pool.nested.fetch_add(1, Ordering::Relaxed);
+    }
+    let _region_span = desc_telemetry::span("region", label);
     let cap = cap.max(1).min(total);
     if cap > 1 {
         pool.ensure_workers();
@@ -410,6 +642,11 @@ where
     if cap == 1 || pool.spawned.load(Ordering::Relaxed) == 0 {
         pool.inline.fetch_add(total as u64, Ordering::Relaxed);
         pool.executed.fetch_add(total as u64, Ordering::Relaxed);
+        let _in_task = InTaskGuard { was: IN_TASK.with(|fl| fl.replace(true)) };
+        if desc_telemetry::enabled() {
+            let timer = TaskTimer::new(label);
+            return (0..total).map(|i| timer.time(|| f(i))).collect();
+        }
         return (0..total).map(f).collect();
     }
 
@@ -436,6 +673,7 @@ where
             &ctx as *const RunCtx<'_, T, F> as *const (),
             total,
             cap,
+            label,
         ));
         pool.submit(Arc::clone(&region));
         let mine = region.execute_until_empty();
@@ -465,11 +703,21 @@ struct MutCtx<'a, S, F> {
     _marker: std::marker::PhantomData<&'a mut [S]>,
 }
 
-/// Runs `f(i, &mut states[i])` for every index with at most `cap`
-/// tasks in flight, in place — the mutable-state twin of [`run`] used
-/// for buffers that persist across repeated passes (e.g. the timing
-/// fixed-point). Panic and determinism semantics match [`run`].
+/// [`run_mut_labeled`] under the generic region label `"region"`.
 pub fn run_mut<S, F>(states: &mut [S], cap: usize, f: F)
+where
+    S: Send,
+    F: Fn(usize, &mut S) + Sync,
+{
+    run_mut_labeled("region", states, cap, f);
+}
+
+/// Runs `f(i, &mut states[i])` for every index with at most `cap`
+/// tasks in flight, in place — the mutable-state twin of
+/// [`run_labeled`] used for buffers that persist across repeated
+/// passes (e.g. the timing fixed-point). Panic, determinism, and
+/// timeline-attribution semantics match [`run_labeled`].
+pub fn run_mut_labeled<S, F>(label: &'static str, states: &mut [S], cap: usize, f: F)
 where
     S: Send,
     F: Fn(usize, &mut S) + Sync,
@@ -479,6 +727,10 @@ where
         return;
     }
     let pool = Pool::global();
+    if IN_TASK.with(Cell::get) {
+        pool.nested.fetch_add(1, Ordering::Relaxed);
+    }
+    let _region_span = desc_telemetry::span("region", label);
     let cap = cap.max(1).min(total);
     if cap > 1 {
         pool.ensure_workers();
@@ -486,8 +738,16 @@ where
     if cap == 1 || pool.spawned.load(Ordering::Relaxed) == 0 {
         pool.inline.fetch_add(total as u64, Ordering::Relaxed);
         pool.executed.fetch_add(total as u64, Ordering::Relaxed);
-        for (i, s) in states.iter_mut().enumerate() {
-            f(i, s);
+        let _in_task = InTaskGuard { was: IN_TASK.with(|fl| fl.replace(true)) };
+        if desc_telemetry::enabled() {
+            let timer = TaskTimer::new(label);
+            for (i, s) in states.iter_mut().enumerate() {
+                timer.time(|| f(i, s));
+            }
+        } else {
+            for (i, s) in states.iter_mut().enumerate() {
+                f(i, s);
+            }
         }
         return;
     }
@@ -513,6 +773,7 @@ where
             &ctx as *const MutCtx<'_, S, F> as *const (),
             total,
             cap,
+            label,
         ));
         pool.submit(Arc::clone(&region));
         let mine = region.execute_until_empty();
@@ -649,5 +910,53 @@ mod tests {
         assert!(after.tasks_executed >= before.tasks_executed + 20);
         assert!(after.tasks_inline >= before.tasks_inline + 10);
         assert!(after.workers >= 1);
+    }
+
+    #[test]
+    fn nested_regions_are_counted() {
+        configure(2);
+        let before = stats().regions_nested;
+        // 4 outer tasks, each submitting one inner region (the inner
+        // cap of 1 keeps it on the inline path — still a region).
+        let _ = run(4, 2, |c| run(3, 1, move |p| c * 10 + p).len());
+        let after = stats().regions_nested;
+        assert!(after >= before + 4, "nested submissions: {before} -> {after}");
+    }
+
+    /// One test (not two) because `set_enabled` is process-global and
+    /// the harness runs tests concurrently: the disabled-path check
+    /// must not race a sibling that turns telemetry on.
+    #[test]
+    fn utilization_follows_the_telemetry_switch() {
+        configure(2);
+
+        // Disabled: a labeled run leaves no timing trace at all.
+        desc_telemetry::set_enabled(false);
+        let _ = run_labeled("test-dark", 16, 2, |i| i);
+        let util = utilization();
+        assert!(util.regions.iter().all(|r| r.label != "test-dark"));
+
+        // Enabled: tasks, run time, buckets, and worker busy time all
+        // land under the region's label.
+        desc_telemetry::set_enabled(true);
+        let _ = run_labeled("test-util", 8, 2, |i| {
+            std::thread::sleep(std::time::Duration::from_micros(200));
+            i
+        });
+        desc_telemetry::set_enabled(false);
+        let util = utilization();
+        assert!(util.elapsed_us > 0);
+        let region = util
+            .regions
+            .iter()
+            .find(|r| r.label == "test-util")
+            .expect("labeled region appears in utilization");
+        assert_eq!(region.tasks, 8);
+        assert!(region.run_us_sum > 0, "sleeping tasks must accrue run time");
+        assert!(!region.run_us_buckets.is_empty());
+        let busy: u64 = util.workers.iter().map(|w| w.busy_us).sum();
+        let worked: u64 = util.workers.iter().map(|w| w.tasks).sum();
+        assert!(busy >= region.run_us_sum, "worker busy time covers the region");
+        assert!(worked >= 8);
     }
 }

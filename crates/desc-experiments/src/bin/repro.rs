@@ -5,13 +5,43 @@
 //! repro all                # everything, full scale
 //! repro --quick all        # everything, reduced scale
 //! repro --report out.json  # machine-readable run report (implies all)
+//! repro --trace out.json   # Chrome/Perfetto execution timeline
 //! repro --list             # available experiment names
 //! ```
+//!
+//! # Exit codes
+//!
+//! Errors are uniform: one line on stderr, and a distinct code per
+//! error class so scripts can tell misuse from bad selection from I/O
+//! failure.
+//!
+//! | code | meaning                                        |
+//! |------|------------------------------------------------|
+//! | 0    | success                                        |
+//! | 2    | usage error (unknown/malformed flag, no names) |
+//! | 3    | unknown experiment name                        |
+//! | 4    | failed to write a requested output file        |
 
+use desc_experiments::progress::{self, Reporter};
 use desc_experiments::{experiment_names, run_experiment, Scale};
 use desc_telemetry::{Report, ReportMeta};
 use std::process::ExitCode;
 use std::time::Instant;
+
+/// Malformed or unknown command line (see `--help`).
+const EXIT_USAGE: u8 = 2;
+/// An experiment name not in `--list`.
+const EXIT_UNKNOWN_EXPERIMENT: u8 = 3;
+/// A requested output file (`--report`, `--trace`) could not be
+/// written.
+const EXIT_WRITE_FAILED: u8 = 4;
+
+/// Prints a usage-class error and returns the usage exit code.
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("repro: {msg}");
+    eprintln!("repro: try `repro --help`");
+    ExitCode::from(EXIT_USAGE)
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -19,8 +49,11 @@ fn main() -> ExitCode {
     let mut scale_label = "full";
     let mut names: Vec<String> = Vec::new();
     let mut csv = false;
+    let mut quiet = false;
+    let mut force_progress = false;
     let mut jobs: Option<usize> = None;
     let mut report_path: Option<std::path::PathBuf> = None;
+    let mut trace_path: Option<std::path::PathBuf> = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -29,53 +62,43 @@ fn main() -> ExitCode {
                 scale_label = "quick";
             }
             "--csv" => csv = true,
+            "--quiet" => quiet = true,
+            "--progress" => force_progress = true,
             "--tiny" => {
                 scale = Scale::tiny();
                 scale_label = "tiny";
             }
             "--seed" => match iter.next().map(|v| v.parse::<u64>()) {
                 Some(Ok(seed)) => scale.seed = seed,
-                _ => {
-                    eprintln!("--seed needs an integer argument");
-                    return ExitCode::FAILURE;
-                }
+                _ => return usage_error("--seed needs an integer argument"),
             },
             "--accesses" => match iter.next().map(|v| v.parse::<usize>()) {
                 Some(Ok(n)) if n > 0 => scale.accesses = n,
-                _ => {
-                    eprintln!("--accesses needs a positive integer argument");
-                    return ExitCode::FAILURE;
-                }
+                _ => return usage_error("--accesses needs a positive integer argument"),
             },
             "--apps" => match iter.next().map(|v| v.parse::<usize>()) {
                 Some(Ok(n)) if (1..=16).contains(&n) => scale.apps = n,
-                _ => {
-                    eprintln!("--apps needs an integer in 1..=16");
-                    return ExitCode::FAILURE;
-                }
+                _ => return usage_error("--apps needs an integer in 1..=16"),
             },
             "--jobs" | "-j" => match iter.next().map(|v| v.parse::<usize>()) {
                 Some(Ok(n)) if n > 0 => jobs = Some(n),
-                _ => {
-                    eprintln!("--jobs needs a positive integer argument");
-                    return ExitCode::FAILURE;
-                }
+                _ => return usage_error("--jobs needs a positive integer argument"),
             },
             "--shards" => match iter.next().map(|v| v.parse::<usize>()) {
                 Some(Ok(n)) if n > 0 => scale.shards = n,
-                _ => {
-                    eprintln!("--shards needs a positive integer argument");
-                    return ExitCode::FAILURE;
-                }
+                _ => return usage_error("--shards needs a positive integer argument"),
             },
             "--report" => match iter.next() {
                 Some(path) if !path.is_empty() => {
                     report_path = Some(std::path::PathBuf::from(path));
                 }
-                _ => {
-                    eprintln!("--report needs an output path argument");
-                    return ExitCode::FAILURE;
+                _ => return usage_error("--report needs an output path argument"),
+            },
+            "--trace" => match iter.next() {
+                Some(path) if !path.is_empty() => {
+                    trace_path = Some(std::path::PathBuf::from(path));
                 }
+                _ => return usage_error("--trace needs an output path argument"),
             },
             "--list" | "-l" => {
                 for n in experiment_names() {
@@ -85,31 +108,44 @@ fn main() -> ExitCode {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--quick|--tiny] [--csv] [--seed N] [--accesses N] [--apps N] \
-                     [--jobs N] [--shards N] [--report PATH] <experiment...|all>\n\
+                    "usage: repro [--quick|--tiny] [--csv] [--quiet] [--seed N] [--accesses N] \
+                     [--apps N] [--jobs N] [--shards N] [--report PATH] [--trace PATH] \
+                     <experiment...|all>\n\
                      --jobs N      run up to N sweep cells concurrently; results are\n\
                      bit-identical for any N (default: all hardware threads)\n\
                      --shards N    run up to N of each cell's bank partitions concurrently;\n\
                      bit-identical for any N (default: 1). jobs and shards\n\
                      are caps on one shared pool and never multiply threads\n\
                      --report PATH enable telemetry and write a machine-readable JSON run\n\
-                     report (counters, histograms, spans); defaults to all experiments\n\
+                     report (counters, histograms, pool utilization, spans);\n\
+                     defaults to all experiments\n\
+                     --trace PATH  enable telemetry and write a Chrome trace-event JSON\n\
+                     timeline (one lane per pool thread) for Perfetto;\n\
+                     see docs/TELEMETRY.md\n\
+                     --quiet       suppress the live progress line on stderr\n\
+                     --progress    force the live progress line even when stderr is\n\
+                     not a terminal\n\
+                     exit codes: 0 ok, 2 usage error, 3 unknown experiment,\n\
+                     4 output write failure\n\
                      experiments: {}",
                     experiment_names().join(" ")
                 );
                 return ExitCode::SUCCESS;
             }
             "all" => names.extend(experiment_names().iter().map(|s| (*s).to_owned())),
+            other if other.starts_with('-') => {
+                return usage_error(&format!("unknown flag {other:?}"));
+            }
             other => names.push(other.to_owned()),
         }
     }
     if names.is_empty() {
-        if report_path.is_some() {
-            // A report with no explicit selection covers everything.
+        if report_path.is_some() || trace_path.is_some() {
+            // A report or trace with no explicit selection covers
+            // everything.
             names.extend(experiment_names().iter().map(|s| (*s).to_owned()));
         } else {
-            eprintln!("no experiments requested; try `repro --help`");
-            return ExitCode::FAILURE;
+            return usage_error("no experiments requested");
         }
     }
     // Sweeps are deterministic for any job count, so defaulting to all
@@ -120,11 +156,12 @@ fn main() -> ExitCode {
     let known = experiment_names();
     for name in &names {
         if !known.contains(&name.as_str()) {
-            eprintln!("unknown experiment {name:?}; try `repro --list`");
-            return ExitCode::FAILURE;
+            eprintln!("repro: unknown experiment {name:?}; try `repro --list`");
+            return ExitCode::from(EXIT_UNKNOWN_EXPERIMENT);
         }
     }
-    if report_path.is_some() {
+    let telemetry = report_path.is_some() || trace_path.is_some();
+    if telemetry {
         desc_telemetry::set_enabled(true);
     }
     // Size the shared pool once telemetry state is settled. `--jobs`
@@ -132,12 +169,27 @@ fn main() -> ExitCode {
     // bank partitions run concurrently *within* that pool — the two
     // never multiply, so the process runs at most `jobs` sim threads.
     desc_exec::configure(scale.jobs);
+
+    // Live progress goes to stderr only when someone is watching (or
+    // explicitly asked): never into redirected logs, never with
+    // `--quiet`.
+    progress::set_experiment_count(names.len());
+    let reporter = (!quiet && (force_progress || progress::stderr_is_tty()))
+        .then(Reporter::start);
+
     for name in &names {
         let started = Instant::now();
+        desc_telemetry::set_context(name);
+        progress::begin_experiment(name);
         let table = {
             let _span = desc_telemetry::span("experiment", name.as_str());
             run_experiment(name, &scale)
         };
+        desc_telemetry::set_context("");
+        let finished = progress::end_experiment();
+        if let (Some(reporter), Some((fig, cells, secs))) = (&reporter, finished) {
+            reporter.experiment_finished(&fig, cells, secs);
+        }
         if csv {
             print!("{}", table.to_csv());
         } else {
@@ -145,7 +197,22 @@ fn main() -> ExitCode {
             println!("[{name} completed in {:.1}s]\n", started.elapsed().as_secs_f64());
         }
     }
-    if let Some(path) = report_path {
+    if let Some(reporter) = reporter {
+        reporter.finish();
+    }
+
+    // One drain serves both artifacts, so the report's spans and the
+    // Chrome timeline describe the same events.
+    let spans = if telemetry { desc_telemetry::drain_spans() } else { Vec::new() };
+    if let Some(path) = &trace_path {
+        let doc = desc_telemetry::chrome_trace("repro", &desc_telemetry::worker_names(), &spans);
+        if let Err(e) = std::fs::write(path, doc.to_pretty()) {
+            eprintln!("repro: failed to write trace to {}: {e}", path.display());
+            return ExitCode::from(EXIT_WRITE_FAILED);
+        }
+        eprintln!("wrote execution trace to {} (open in https://ui.perfetto.dev)", path.display());
+    }
+    if let Some(path) = &report_path {
         let report = Report {
             meta: ReportMeta {
                 tool: "repro".to_owned(),
@@ -155,13 +222,15 @@ fn main() -> ExitCode {
                 jobs: scale.jobs,
                 shards: scale.shards,
                 experiments: names.clone(),
+                spans_dropped: desc_telemetry::spans_dropped(),
             },
             snapshot: desc_telemetry::global().snapshot(),
-            spans: desc_telemetry::drain_spans(),
+            pool: Some(desc_exec::utilization()),
+            spans,
         };
-        if let Err(e) = report.write_to(&path) {
-            eprintln!("failed to write report to {}: {e}", path.display());
-            return ExitCode::FAILURE;
+        if let Err(e) = report.write_to(path) {
+            eprintln!("repro: failed to write report to {}: {e}", path.display());
+            return ExitCode::from(EXIT_WRITE_FAILED);
         }
         eprintln!("wrote run report to {}", path.display());
     }

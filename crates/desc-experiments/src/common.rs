@@ -188,7 +188,9 @@ pub fn run_app(kind: SchemeKind, profile: &BenchmarkProfile, scale: &Scale) -> A
 /// When telemetry is enabled each cell records a `"cell"` span
 /// (label `c<config>.r<row>`), so `repro --report` shows per-cell
 /// wall-clock for any job count; when disabled no label is even
-/// formatted.
+/// formatted. Figures whose axes have natural names (scheme × app)
+/// should use [`run_matrix_labeled`] so the timeline reads
+/// `zs-desc/ocean` instead of `c4.r0`.
 #[must_use]
 pub fn run_matrix<C, P, R, F>(configs: &[C], rows: &[P], scale: &Scale, cell: F) -> Vec<Vec<R>>
 where
@@ -197,12 +199,41 @@ where
     R: Send,
     F: Fn(&C, &P) -> R + Sync,
 {
+    run_matrix_labeled(configs, rows, scale, |c, p| format!("c{c}.r{p}"), cell)
+}
+
+/// [`run_matrix`] with caller-chosen cell span labels:
+/// `label(config_index, row_index)` names each cell on the execution
+/// timeline. The label closure runs only when telemetry is enabled —
+/// dark runs never format a string.
+///
+/// Every sweep executes as a `"cells"` region on the shared pool
+/// (queue-wait/run-time distributions per cell under that label in
+/// `desc_exec::utilization`) and feeds the [`crate::progress`]
+/// counters that drive `repro`'s live status line.
+#[must_use]
+pub fn run_matrix_labeled<C, P, R, F, L>(
+    configs: &[C],
+    rows: &[P],
+    scale: &Scale,
+    label: L,
+    cell: F,
+) -> Vec<Vec<R>>
+where
+    C: Sync,
+    P: Sync,
+    R: Send,
+    F: Fn(&C, &P) -> R + Sync,
+    L: Fn(usize, usize) -> String + Sync,
+{
     let n_cells = rows.len() * configs.len();
-    let cells = desc_exec::run(n_cells, scale.jobs.max(1), |i| {
+    crate::progress::cells_planned(n_cells as u64);
+    let cells = desc_exec::run_labeled("cells", n_cells, scale.jobs.max(1), |i| {
         let (p, c) = (i / configs.len(), i % configs.len());
-        let _span = desc_telemetry::enabled()
-            .then(|| desc_telemetry::span("cell", format!("c{c}.r{p}")));
-        cell(&configs[c], &rows[p])
+        let _span = desc_telemetry::enabled().then(|| desc_telemetry::span("cell", label(c, p)));
+        let out = cell(&configs[c], &rows[p]);
+        crate::progress::cell_done();
+        out
     });
     let mut out = Vec::with_capacity(rows.len());
     let mut it = cells.into_iter();

@@ -19,6 +19,7 @@
 
 pub mod common;
 pub mod figures;
+pub mod progress;
 pub mod table;
 
 pub use common::{AppRun, Scale};

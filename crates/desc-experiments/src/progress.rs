@@ -1,0 +1,312 @@
+//! Live sweep progress for interactive `repro` runs.
+//!
+//! [`run_matrix`](crate::common::run_matrix) feeds two process-wide
+//! counters — cells planned and cells completed — and `repro` marks
+//! experiment boundaries with [`begin_experiment`] /
+//! [`end_experiment`]. A [`Reporter`] started on top of that state
+//! repaints one stderr status line a few times per second:
+//!
+//! ```text
+//! [3/9] fig16 | cells 132/180 | 41.2 cells/s | elapsed 3.2s | eta 9s
+//! ```
+//!
+//! and prints a per-figure summary line as each experiment finishes.
+//! The reporter is plain observability: the counters are relaxed
+//! atomics written once per sweep cell (a cell simulates thousands of
+//! L2 accesses, so the cost vanishes), nothing here feeds back into
+//! the simulation, and `repro` only starts a reporter when stderr is a
+//! TTY and `--quiet` was not passed — CI logs and redirected output
+//! never see control characters.
+//!
+//! The ETA blends two signals: cells completed against cells *planned
+//! so far* (totals appear as each experiment plans its sweeps), scaled
+//! by experiments remaining. Early in a run it is rough; it converges
+//! as experiments complete. Formatting lives in pure functions
+//! ([`format_status_line`], [`format_experiment_done`]) so tests can
+//! pin the rendering without a terminal.
+
+use std::io::{IsTerminal, Write};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Process-wide sweep progress state.
+struct State {
+    /// Sweep cells planned by every `run_matrix` region so far.
+    planned: AtomicU64,
+    /// Sweep cells completed.
+    done: AtomicU64,
+    /// Experiments completed so far this run.
+    experiments_done: AtomicU64,
+    /// Total experiments this run (set once by `repro`).
+    experiments_total: AtomicU64,
+    /// Name of the experiment currently running, plus the cell count
+    /// at the moment it started (for the per-figure summary).
+    current: Mutex<Option<(String, u64, Instant)>>,
+}
+
+fn state() -> &'static State {
+    static STATE: OnceLock<State> = OnceLock::new();
+    STATE.get_or_init(|| State {
+        planned: AtomicU64::new(0),
+        done: AtomicU64::new(0),
+        experiments_done: AtomicU64::new(0),
+        experiments_total: AtomicU64::new(0),
+        current: Mutex::new(None),
+    })
+}
+
+/// Records that a sweep region of `n` cells was planned.
+pub fn cells_planned(n: u64) {
+    state().planned.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Records one completed sweep cell.
+pub fn cell_done() {
+    state().done.fetch_add(1, Ordering::Relaxed);
+}
+
+/// `(completed, planned)` sweep-cell counts since process start.
+#[must_use]
+pub fn cells() -> (u64, u64) {
+    let s = state();
+    (s.done.load(Ordering::Relaxed), s.planned.load(Ordering::Relaxed))
+}
+
+/// Declares how many experiments the run will execute (sizes the
+/// `[i/N]` prefix and the ETA).
+pub fn set_experiment_count(n: usize) {
+    state().experiments_total.store(n as u64, Ordering::Relaxed);
+}
+
+/// Marks `name` as the experiment now running.
+pub fn begin_experiment(name: &str) {
+    let s = state();
+    let mut cur = s.current.lock().unwrap_or_else(|e| e.into_inner());
+    *cur = Some((name.to_owned(), s.done.load(Ordering::Relaxed), Instant::now()));
+}
+
+/// Marks the current experiment finished, returning `(name, cells it
+/// ran, wall seconds)` for the per-figure summary line.
+pub fn end_experiment() -> Option<(String, u64, f64)> {
+    let s = state();
+    let finished = s.current.lock().unwrap_or_else(|e| e.into_inner()).take();
+    s.experiments_done.fetch_add(1, Ordering::Relaxed);
+    finished.map(|(name, done_at_start, started)| {
+        let ran = s.done.load(Ordering::Relaxed).saturating_sub(done_at_start);
+        (name, ran, started.elapsed().as_secs_f64())
+    })
+}
+
+/// One snapshot of everything the status line shows.
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    /// Experiments completed so far.
+    pub experiments_done: u64,
+    /// Experiments the run will execute.
+    pub experiments_total: u64,
+    /// Name of the experiment currently running, if any.
+    pub current: Option<String>,
+    /// Sweep cells completed.
+    pub cells_done: u64,
+    /// Sweep cells planned so far.
+    pub cells_planned: u64,
+    /// Wall seconds since the reporter started.
+    pub elapsed_s: f64,
+}
+
+fn snapshot(started: Instant) -> Snapshot {
+    let s = state();
+    Snapshot {
+        experiments_done: s.experiments_done.load(Ordering::Relaxed),
+        experiments_total: s.experiments_total.load(Ordering::Relaxed),
+        current: s
+            .current
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .as_ref()
+            .map(|(name, _, _)| name.clone()),
+        cells_done: s.done.load(Ordering::Relaxed),
+        cells_planned: s.planned.load(Ordering::Relaxed),
+        elapsed_s: started.elapsed().as_secs_f64(),
+    }
+}
+
+/// Renders the repainted status line (no trailing newline; the
+/// reporter prefixes `\r` and pads).
+#[must_use]
+pub fn format_status_line(s: &Snapshot) -> String {
+    let mut line = String::new();
+    if s.experiments_total > 0 {
+        let running = (s.experiments_done + 1).min(s.experiments_total);
+        line.push_str(&format!("[{running}/{}] ", s.experiments_total));
+    }
+    line.push_str(s.current.as_deref().unwrap_or("idle"));
+    line.push_str(&format!(" | cells {}/{}", s.cells_done, s.cells_planned));
+    if s.elapsed_s > 0.0 && s.cells_done > 0 {
+        line.push_str(&format!(" | {:.1} cells/s", s.cells_done as f64 / s.elapsed_s));
+    }
+    line.push_str(&format!(" | elapsed {:.1}s", s.elapsed_s));
+    if let Some(eta) = eta_seconds(s) {
+        line.push_str(&format!(" | eta {}s", eta.ceil() as u64));
+    }
+    line
+}
+
+/// Estimated seconds remaining, or `None` before there is any signal.
+///
+/// Cells planned only materialize experiment by experiment, so the
+/// cell-rate estimate for the *current* experiment is scaled by the
+/// number of experiments still untouched (assumed equal-cost).
+#[must_use]
+pub fn eta_seconds(s: &Snapshot) -> Option<f64> {
+    if s.cells_done == 0 || s.elapsed_s <= 0.0 || s.experiments_total == 0 {
+        return None;
+    }
+    let rate = s.cells_done as f64 / s.elapsed_s;
+    let current_remaining = s.cells_planned.saturating_sub(s.cells_done) as f64 / rate;
+    let touched = s.experiments_done + u64::from(s.current.is_some());
+    let untouched = s.experiments_total.saturating_sub(touched);
+    if touched == 0 {
+        return None;
+    }
+    let per_experiment = s.elapsed_s / touched as f64;
+    Some(current_remaining + untouched as f64 * per_experiment)
+}
+
+/// Renders the per-figure summary printed when an experiment ends.
+#[must_use]
+pub fn format_experiment_done(name: &str, cells: u64, seconds: f64) -> String {
+    if cells > 0 {
+        format!("{name}: {cells} cells in {seconds:.1}s")
+    } else {
+        format!("{name}: done in {seconds:.1}s")
+    }
+}
+
+/// True when stderr is an interactive terminal (the only place the
+/// repainting reporter is allowed to write).
+#[must_use]
+pub fn stderr_is_tty() -> bool {
+    std::io::stderr().is_terminal()
+}
+
+/// Background stderr status-line painter. Construct with
+/// [`Reporter::start`]; drop (or [`Reporter::finish`]) clears the line
+/// and joins the ticker thread.
+pub struct Reporter {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Reporter {
+    /// Spawns the ticker, repainting roughly every 200 ms.
+    #[must_use]
+    pub fn start() -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("desc-progress".to_owned())
+            .spawn(move || {
+                let started = Instant::now();
+                let mut widest = 0;
+                while !stop_flag.load(Ordering::Relaxed) {
+                    let line = format_status_line(&snapshot(started));
+                    widest = widest.max(line.len());
+                    // Pad to the widest line painted so far so a
+                    // shrinking line leaves no stale tail characters.
+                    eprint!("\r{line:<widest$}");
+                    let _ = std::io::stderr().flush();
+                    std::thread::sleep(Duration::from_millis(200));
+                }
+                eprint!("\r{:widest$}\r", "");
+                let _ = std::io::stderr().flush();
+            })
+            .expect("failed to spawn progress reporter thread");
+        Reporter { stop, handle: Some(handle) }
+    }
+
+    /// Reports an experiment's completion: clears the status line so
+    /// the summary prints on its own row. Safe to call concurrently
+    /// with repainting — worst case is one transiently garbled frame.
+    pub fn experiment_finished(&self, name: &str, cells: u64, seconds: f64) {
+        eprintln!("\r{:<79}\r{}", "", format_experiment_done(name, cells, seconds));
+    }
+
+    /// Stops and joins the ticker, clearing the status line.
+    pub fn finish(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Reporter {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(done: u64, planned: u64, xd: u64, xt: u64, cur: Option<&str>, t: f64) -> Snapshot {
+        Snapshot {
+            experiments_done: xd,
+            experiments_total: xt,
+            current: cur.map(str::to_owned),
+            cells_done: done,
+            cells_planned: planned,
+            elapsed_s: t,
+        }
+    }
+
+    #[test]
+    fn status_line_shows_counts_rate_and_eta() {
+        let line = format_status_line(&snap(50, 100, 2, 9, Some("fig16"), 10.0));
+        assert!(line.starts_with("[3/9] fig16"), "{line}");
+        assert!(line.contains("cells 50/100"), "{line}");
+        assert!(line.contains("5.0 cells/s"), "{line}");
+        assert!(line.contains("elapsed 10.0s"), "{line}");
+        assert!(line.contains("eta "), "{line}");
+    }
+
+    #[test]
+    fn eta_needs_progress_and_shrinks_with_fewer_experiments_left() {
+        assert!(eta_seconds(&snap(0, 100, 0, 9, Some("fig12"), 5.0)).is_none());
+        let early = eta_seconds(&snap(50, 100, 0, 9, Some("fig12"), 10.0)).unwrap();
+        let late = eta_seconds(&snap(50, 100, 7, 9, Some("fig28"), 10.0)).unwrap();
+        assert!(late < early, "eta must drop as experiments complete: {early} vs {late}");
+    }
+
+    #[test]
+    fn status_line_without_experiment_context_still_renders() {
+        let line = format_status_line(&snap(3, 8, 0, 0, None, 1.0));
+        assert!(line.contains("idle"), "{line}");
+        assert!(line.contains("cells 3/8"), "{line}");
+        assert!(!line.contains("eta"), "no experiment count, no eta: {line}");
+    }
+
+    #[test]
+    fn experiment_summary_formats() {
+        assert_eq!(format_experiment_done("fig16", 80, 1.25), "fig16: 80 cells in 1.2s");
+        assert_eq!(format_experiment_done("fig17", 0, 0.05), "fig17: done in 0.1s");
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let (done0, planned0) = cells();
+        cells_planned(5);
+        cell_done();
+        cell_done();
+        let (done, planned) = cells();
+        assert_eq!(done - done0, 2);
+        assert_eq!(planned - planned0, 5);
+    }
+}

@@ -27,8 +27,10 @@ fn report_for(experiments: &[&str], shards: usize, scale: &Scale) -> (Vec<String
             jobs: scale.jobs,
             shards,
             experiments: experiments.iter().map(|&e| e.to_owned()).collect(),
+            spans_dropped: desc_telemetry::spans_dropped(),
         },
         snapshot: desc_telemetry::global().snapshot(),
+        pool: None,
         spans: Vec::new(),
     };
     // Metrics only: `meta` records the shard count itself (and a

@@ -42,18 +42,51 @@ fn telemetry_is_invisible_in_outputs_and_deterministic_in_counters() {
     assert_eq!(on_first, on_second);
     assert_eq!(first.metrics, second.metrics, "counters diverged between identical runs");
 
-    // Same run fanned over 4 workers: same rendered bytes, same
-    // counter values (all updates are order-independent).
+    // Same run fanned over 4 workers (and 2-way sharded cells): same
+    // rendered bytes, same counter values (all updates are
+    // order-independent).
     desc_telemetry::global().reset_all();
-    let parallel = run_experiment("fig16", &scale.with_jobs(4)).render();
+    let _ = desc_telemetry::drain_spans();
+    desc_telemetry::set_context("fig16");
+    let parallel = run_experiment("fig16", &scale.with_jobs(4).with_shards(2)).render();
+    desc_telemetry::set_context("");
     let fanned = desc_telemetry::global().snapshot();
     assert_eq!(on_first, parallel, "fig16 diverged under --jobs 4 with telemetry on");
     assert_eq!(first.metrics, fanned.metrics, "counters diverged under --jobs 4");
-    // Spans were recorded per cell; drain so later tests start clean.
+    // The sweep landed on the execution timeline: per-cell spans named
+    // scheme/app, a "cells" executor region, per-bank "partition"
+    // spans from the sharded simulations inside "parts"/"parts_mut"
+    // regions — every one carrying the process-wide context. Drain so
+    // later tests start clean.
     let spans = desc_telemetry::drain_spans();
+    let cells: Vec<_> = spans.iter().filter(|s| s.name == "cell").collect();
+    assert!(!cells.is_empty(), "parallel sweep recorded no per-cell spans");
     assert!(
-        spans.iter().any(|s| s.name == "cell"),
-        "parallel sweep recorded no per-cell spans"
+        cells.iter().any(|s| s.label.contains('/')),
+        "fig16 cell spans should be labeled scheme/app, got e.g. {:?}",
+        cells.first().map(|s| &s.label)
+    );
+    assert!(
+        cells.iter().all(|s| s.ctx == "fig16"),
+        "cell spans recorded on pool workers lost the experiment context"
+    );
+    let region_labels: std::collections::BTreeSet<&str> =
+        spans.iter().filter(|s| s.name == "region").map(|s| s.label.as_str()).collect();
+    assert!(region_labels.contains("cells"), "no cells region span: {region_labels:?}");
+    assert!(
+        region_labels.contains("parts") || region_labels.contains("parts_mut"),
+        "sharded cells recorded no partition regions: {region_labels:?}"
+    );
+    assert!(
+        spans.iter().any(|s| s.name == "partition"),
+        "sharded cells recorded no per-partition spans"
+    );
+    // Executor utilization saw the same sweep, without touching the
+    // registry (the metric maps above already proved byte-equality).
+    let util = desc_exec::utilization();
+    assert!(
+        util.regions.iter().any(|r| r.label == "cells" && r.tasks > 0),
+        "pool utilization missing the cells region"
     );
 
     // Disabled again: running an experiment touches no counters.

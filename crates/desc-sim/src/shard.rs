@@ -26,24 +26,38 @@
 /// Runs `part_fn(0..parts)` with at most `threads` partitions in
 /// flight on the shared pool and returns the results indexed by
 /// partition.
+///
+/// On the execution timeline these land as a `"parts"` region (queue
+/// wait and run time per partition task, see `desc_exec::utilization`)
+/// and, when telemetry is enabled, one `"partition"` span per bank
+/// partition (label `p<n>`) on whichever pool thread ran it.
 pub(crate) fn run_parts<T, F>(parts: usize, threads: usize, part_fn: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    desc_exec::run(parts, threads, part_fn)
+    desc_exec::run_labeled("parts", parts, threads, |p| {
+        let _span =
+            desc_telemetry::enabled().then(|| desc_telemetry::span("partition", format!("p{p}")));
+        part_fn(p)
+    })
 }
 
 /// In-place twin of [`run_parts`] for per-partition state that
 /// persists across repeated passes (the timing fixed-point): runs
 /// `part_fn(p, &mut states[p])` for every partition with at most
-/// `threads` in flight.
+/// `threads` in flight. Timeline attribution matches [`run_parts`]
+/// under the region label `"parts_mut"`.
 pub(crate) fn run_parts_mut<S, F>(states: &mut [S], threads: usize, part_fn: F)
 where
     S: Send,
     F: Fn(usize, &mut S) + Sync,
 {
-    desc_exec::run_mut(states, threads, part_fn);
+    desc_exec::run_mut_labeled("parts_mut", states, threads, |p, s| {
+        let _span =
+            desc_telemetry::enabled().then(|| desc_telemetry::span("partition", format!("p{p}")));
+        part_fn(p, s);
+    });
 }
 
 #[cfg(test)]

@@ -42,17 +42,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chrome;
 pub mod json;
 pub mod metrics;
 pub mod registry;
 pub mod report;
 pub mod trace;
 
+pub use chrome::{chrome_trace, write_chrome_trace};
 pub use json::Json;
 pub use metrics::{Counter, Gauge, Histogram, LocalHistogram, HISTOGRAM_BUCKETS};
 pub use registry::{MetricValue, Registry, Snapshot};
-pub use report::{Report, ReportMeta};
-pub use trace::{drain_spans, span, Span, SpanGuard};
+pub use report::{PoolUtilization, RegionUtilization, Report, ReportMeta, WorkerUtilization};
+pub use trace::{
+    current_worker, drain_spans, now_us, set_context, span, spans_dropped, worker_names, Span,
+    SpanGuard,
+};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;

@@ -5,12 +5,15 @@
 //!
 //! - `schema` — the literal `"desc-run-report/v1"`.
 //! - `meta` — tool name/version, seed, scale, jobs, shards, experiment list,
-//!   and a wall-clock timestamp (the one intentionally
-//!   non-deterministic field).
+//!   dropped-span count, and a wall-clock timestamp (the
+//!   non-deterministic fields).
 //! - `metrics` — one entry per registered metric, name-sorted; each is
 //!   a typed object (`counter` / `gauge` / `histogram`). Histogram
 //!   buckets are sparse: only non-empty buckets appear, keyed by
 //!   bucket index.
+//! - `pool_utilization` — optional executor accounting: per-worker
+//!   busy time and per-region queue-wait/run aggregates (present when
+//!   the producer supplies a [`PoolUtilization`]).
 //! - `spans` — drained trace spans in start-time order (wall-clock, so
 //!   durations vary run to run; counters never do).
 //!
@@ -20,6 +23,7 @@
 //! document and this module in lockstep.
 
 use crate::json::Json;
+use crate::metrics::HISTOGRAM_BUCKETS;
 use crate::registry::{MetricValue, Snapshot};
 use crate::trace::Span;
 use std::time::{SystemTime, UNIX_EPOCH};
@@ -41,6 +45,123 @@ pub struct ReportMeta {
     pub shards: usize,
     /// Experiments that ran, in execution order.
     pub experiments: Vec<String>,
+    /// Trace spans lost to ring overflow during the run (see
+    /// [`crate::spans_dropped`]); nonzero means the `spans` array is a
+    /// truncated timeline and `DESC_TRACE_RING` should be raised.
+    pub spans_dropped: u64,
+}
+
+/// One worker thread's share of the executor's work, for the
+/// `pool_utilization` stanza. Worker ordinals match the span/trace
+/// lanes (see [`crate::current_worker`]).
+#[derive(Debug, Clone)]
+pub struct WorkerUtilization {
+    /// Stable worker ordinal (Chrome-trace lane id).
+    pub worker: u32,
+    /// Thread name (`main`, `desc-exec-0`, ...).
+    pub name: String,
+    /// Microseconds this thread spent executing pool tasks.
+    pub busy_us: u64,
+    /// Tasks this thread executed.
+    pub tasks: u64,
+}
+
+/// Aggregated queue-wait / run-time accounting for one executor
+/// region family (e.g. `cells`, `parts`).
+#[derive(Debug, Clone)]
+pub struct RegionUtilization {
+    /// Region label.
+    pub label: String,
+    /// Tasks executed under this label.
+    pub tasks: u64,
+    /// Sum of per-task queue waits (submit → task start), µs.
+    pub queue_wait_us_sum: u64,
+    /// Largest single queue wait, µs.
+    pub queue_wait_us_max: u64,
+    /// Sparse log2 buckets of queue waits (index → count), as in
+    /// metric histograms.
+    pub queue_wait_us_buckets: Vec<(usize, u64)>,
+    /// Sum of per-task run times, µs.
+    pub run_us_sum: u64,
+    /// Largest single task run time, µs.
+    pub run_us_max: u64,
+    /// Sparse log2 buckets of run times (index → count).
+    pub run_us_buckets: Vec<(usize, u64)>,
+}
+
+impl RegionUtilization {
+    /// Converts a full bucket array into the sparse pairs this struct
+    /// stores (only non-empty buckets, ascending index).
+    #[must_use]
+    pub fn sparse_buckets(buckets: &[u64; HISTOGRAM_BUCKETS]) -> Vec<(usize, u64)> {
+        buckets.iter().enumerate().filter(|(_, &n)| n != 0).map(|(i, &n)| (i, n)).collect()
+    }
+}
+
+/// Executor accounting for the `pool_utilization` stanza: how busy
+/// each worker lane was and where each region family's time went.
+/// Produced by `desc_exec::utilization()`; all values are wall-clock
+/// and therefore non-deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct PoolUtilization {
+    /// Microseconds elapsed on the executor's timebase (first timed
+    /// task → snapshot), the denominator of every busy fraction.
+    pub elapsed_us: u64,
+    /// Per-worker busy time, ordered by worker ordinal.
+    pub workers: Vec<WorkerUtilization>,
+    /// Per-region aggregates, ordered by label.
+    pub regions: Vec<RegionUtilization>,
+}
+
+impl PoolUtilization {
+    /// Serializes the stanza (see `docs/REPORT_SCHEMA.md`).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let workers = Json::Arr(
+            self.workers
+                .iter()
+                .map(|w| {
+                    let fraction = if self.elapsed_us == 0 {
+                        0.0
+                    } else {
+                        w.busy_us as f64 / self.elapsed_us as f64
+                    };
+                    Json::obj()
+                        .with("worker", Json::UInt(u64::from(w.worker)))
+                        .with("name", Json::Str(w.name.clone()))
+                        .with("busy_us", Json::UInt(w.busy_us))
+                        .with("tasks", Json::UInt(w.tasks))
+                        .with("busy_fraction", Json::Num((fraction * 1e4).round() / 1e4))
+                })
+                .collect(),
+        );
+        let mut regions = Json::obj();
+        for r in &self.regions {
+            regions = regions.with(
+                &r.label,
+                Json::obj()
+                    .with("tasks", Json::UInt(r.tasks))
+                    .with("queue_wait_us_sum", Json::UInt(r.queue_wait_us_sum))
+                    .with("queue_wait_us_max", Json::UInt(r.queue_wait_us_max))
+                    .with("queue_wait_us_buckets", sparse_to_json(&r.queue_wait_us_buckets))
+                    .with("run_us_sum", Json::UInt(r.run_us_sum))
+                    .with("run_us_max", Json::UInt(r.run_us_max))
+                    .with("run_us_buckets", sparse_to_json(&r.run_us_buckets)),
+            );
+        }
+        Json::obj()
+            .with("elapsed_us", Json::UInt(self.elapsed_us))
+            .with("workers", workers)
+            .with("regions", regions)
+    }
+}
+
+fn sparse_to_json(buckets: &[(usize, u64)]) -> Json {
+    let mut obj = Json::obj();
+    for (i, n) in buckets {
+        obj = obj.with(&i.to_string(), Json::UInt(*n));
+    }
+    obj
 }
 
 /// A run report ready to serialize.
@@ -50,6 +171,9 @@ pub struct Report {
     pub meta: ReportMeta,
     /// Registry snapshot taken at the end of the run.
     pub snapshot: Snapshot,
+    /// Executor utilization accounting, when the producer collected
+    /// it (serialized as `pool_utilization`; omitted when `None`).
+    pub pool: Option<PoolUtilization>,
     /// Trace spans drained at the end of the run.
     pub spans: Vec<Span>,
 }
@@ -73,6 +197,7 @@ impl Report {
                 "experiments",
                 Json::Arr(self.meta.experiments.iter().map(|e| Json::Str(e.clone())).collect()),
             )
+            .with("spans_dropped", Json::UInt(self.meta.spans_dropped))
             .with("generated_unix_s", Json::UInt(timestamp));
 
         let mut metrics = Json::obj();
@@ -84,20 +209,27 @@ impl Report {
             self.spans
                 .iter()
                 .map(|s| {
-                    Json::obj()
+                    let mut span = Json::obj()
                         .with("name", Json::Str(s.name.to_owned()))
-                        .with("label", Json::Str(s.label.clone()))
+                        .with("label", Json::Str(s.label.clone()));
+                    if !s.ctx.is_empty() {
+                        span = span.with("ctx", Json::Str(s.ctx.clone()));
+                    }
+                    span.with("worker", Json::UInt(u64::from(s.worker)))
                         .with("start_us", Json::UInt(s.start_us))
                         .with("duration_us", Json::UInt(s.duration_us))
                 })
                 .collect(),
         );
 
-        Json::obj()
+        let mut doc = Json::obj()
             .with("schema", Json::Str("desc-run-report/v1".to_owned()))
             .with("meta", meta)
-            .with("metrics", metrics)
-            .with("spans", spans)
+            .with("metrics", metrics);
+        if let Some(pool) = &self.pool {
+            doc = doc.with("pool_utilization", pool.to_json());
+        }
+        doc.with("spans", spans)
     }
 
     /// Serializes and writes the report to `path`.
@@ -161,12 +293,39 @@ mod tests {
                 jobs: 4,
                 shards: 2,
                 experiments: vec!["fig16".to_owned()],
+                spans_dropped: 0,
             },
             snapshot: r.snapshot(),
-            spans: vec![Span { name: "cell", label: "x".to_owned(), start_us: 1, duration_us: 2 }],
+            pool: Some(PoolUtilization {
+                elapsed_us: 100,
+                workers: vec![WorkerUtilization {
+                    worker: 0,
+                    name: "main".to_owned(),
+                    busy_us: 50,
+                    tasks: 3,
+                }],
+                regions: vec![RegionUtilization {
+                    label: "cells".to_owned(),
+                    tasks: 3,
+                    queue_wait_us_sum: 9,
+                    queue_wait_us_max: 6,
+                    queue_wait_us_buckets: vec![(2, 3)],
+                    run_us_sum: 41,
+                    run_us_max: 20,
+                    run_us_buckets: vec![(4, 2), (5, 1)],
+                }],
+            }),
+            spans: vec![Span {
+                name: "cell",
+                label: "x".to_owned(),
+                ctx: "fig16".to_owned(),
+                worker: 0,
+                start_us: 1,
+                duration_us: 2,
+            }],
         };
         let json = report.to_json();
-        for key in ["schema", "meta", "metrics", "spans"] {
+        for key in ["schema", "meta", "metrics", "pool_utilization", "spans"] {
             assert!(json.get(key).is_some(), "missing top-level key {key}");
         }
         assert_eq!(json.get("schema").and_then(Json::as_str), Some("desc-run-report/v1"));
@@ -174,5 +333,26 @@ mod tests {
         let back = Json::parse(&text).expect("report parses back");
         let metric = back.get("metrics").and_then(|m| m.get("a.count")).expect("metric present");
         assert_eq!(metric.get("value").and_then(Json::as_u64), Some(5));
+        let busy = back
+            .get("pool_utilization")
+            .and_then(|p| p.get("workers"))
+            .and_then(Json::as_arr)
+            .and_then(|w| w.first())
+            .and_then(|w| w.get("busy_fraction"))
+            .and_then(Json::as_f64)
+            .expect("busy fraction");
+        assert!((busy - 0.5).abs() < 1e-9);
+        assert_eq!(back.get("meta").and_then(|m| m.get("spans_dropped")).and_then(Json::as_u64), Some(0));
+    }
+
+    #[test]
+    fn pool_stanza_is_omitted_when_absent() {
+        let report = Report {
+            meta: ReportMeta::default(),
+            snapshot: Registry::new().snapshot(),
+            pool: None,
+            spans: Vec::new(),
+        };
+        assert!(report.to_json().get("pool_utilization").is_none());
     }
 }

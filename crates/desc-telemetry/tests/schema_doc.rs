@@ -3,7 +3,10 @@
 //! `desc-run-report/v1` report emits. If either side changes alone,
 //! this test fails — the schema document cannot drift silently.
 
-use desc_telemetry::{Json, Registry, Report, ReportMeta, Span};
+use desc_telemetry::{
+    Json, PoolUtilization, RegionUtilization, Registry, Report, ReportMeta, Span,
+    WorkerUtilization,
+};
 use std::collections::BTreeSet;
 
 /// Extracts the fenced block following the "## Key index" heading.
@@ -19,8 +22,9 @@ fn documented_paths(doc: &str) -> BTreeSet<String> {
 }
 
 /// Flattens an emitted report into the doc's path notation:
-/// `metrics.<actual name>` collapses to `metrics.<name>`, array
-/// elements to `[]`.
+/// `metrics.<actual name>` collapses to `metrics.<name>`,
+/// `pool_utilization.regions.<actual label>` to
+/// `pool_utilization.regions.<label>`, array elements to `[]`.
 fn emitted_paths(report: &Json) -> BTreeSet<String> {
     let mut out = BTreeSet::new();
     let Json::Obj(top) = report else { panic!("report is an object") };
@@ -38,6 +42,35 @@ fn emitted_paths(report: &Json) -> BTreeSet<String> {
                     let Json::Obj(fields) = metric else { panic!("metric is an object") };
                     for (k, _) in fields {
                         out.insert(format!("metrics.<name>.{k}"));
+                    }
+                }
+            }
+            "pool_utilization" => {
+                let Json::Obj(pool) = value else { panic!("pool_utilization is an object") };
+                for (k, v) in pool {
+                    match k.as_str() {
+                        "workers" => {
+                            for w in v.as_arr().expect("workers is an array") {
+                                let Json::Obj(fields) = w else { panic!("worker is an object") };
+                                for (wk, _) in fields {
+                                    out.insert(format!("pool_utilization.workers[].{wk}"));
+                                }
+                            }
+                        }
+                        "regions" => {
+                            let Json::Obj(regions) = v else { panic!("regions is an object") };
+                            for (_, region) in regions {
+                                let Json::Obj(fields) = region else {
+                                    panic!("region is an object")
+                                };
+                                for (rk, _) in fields {
+                                    out.insert(format!("pool_utilization.regions.<label>.{rk}"));
+                                }
+                            }
+                        }
+                        other => {
+                            out.insert(format!("pool_utilization.{other}"));
+                        }
                     }
                 }
             }
@@ -63,8 +96,9 @@ fn schema_document_matches_emitted_report() {
     let doc = std::fs::read_to_string(doc_path).expect("docs/REPORT_SCHEMA.md exists");
     let documented = documented_paths(&doc);
 
-    // A representative report exercising every metric type and a span,
-    // so every type-dependent (`?`) key is emitted.
+    // A representative report exercising every metric type, the pool
+    // stanza, and a context-carrying span, so every optional (`?`)
+    // key is emitted.
     let registry = Registry::new();
     registry.counter("t.count").add(3);
     registry.gauge("t.gauge").set(7);
@@ -78,11 +112,33 @@ fn schema_document_matches_emitted_report() {
             jobs: 2,
             shards: 2,
             experiments: vec!["fig23".to_owned()],
+            spans_dropped: 0,
         },
         snapshot: registry.snapshot(),
+        pool: Some(PoolUtilization {
+            elapsed_us: 1000,
+            workers: vec![WorkerUtilization {
+                worker: 0,
+                name: "main".to_owned(),
+                busy_us: 600,
+                tasks: 4,
+            }],
+            regions: vec![RegionUtilization {
+                label: "cells".to_owned(),
+                tasks: 4,
+                queue_wait_us_sum: 12,
+                queue_wait_us_max: 8,
+                queue_wait_us_buckets: vec![(3, 4)],
+                run_us_sum: 580,
+                run_us_max: 200,
+                run_us_buckets: vec![(7, 3), (8, 1)],
+            }],
+        }),
         spans: vec![Span {
             name: "experiment",
             label: "fig23".to_owned(),
+            ctx: "fig23".to_owned(),
+            worker: 0,
             start_us: 1,
             duration_us: 2,
         }],

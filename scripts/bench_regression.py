@@ -39,10 +39,26 @@ def rows(entry):
     return out
 
 
+def describe_pool(doc):
+    """Print the latest run's executor pool stanza, if present.
+
+    Purely informational context for the rate comparisons below. Keys
+    are read dynamically so stanza growth (e.g. the regions_nested and
+    cap_rejections saturation counters) is picked up automatically and
+    never warns on first appearance.
+    """
+    pool = doc.get("config", {}).get("pool")
+    if not isinstance(pool, dict):
+        return
+    fields = " ".join(f"{k}={v}" for k, v in pool.items())
+    print(f"pool: {fields}")
+
+
 def main():
     path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_pipeline.json"
     with open(path) as f:
         doc = json.load(f)
+    describe_pool(doc)
     history = doc.get("history", [])
     if len(history) < 2:
         print(f"{path}: fewer than two history entries, nothing to compare")
