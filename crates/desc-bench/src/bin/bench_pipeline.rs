@@ -17,6 +17,11 @@
 //! serial from pooled throughput; results are bit-identical across
 //! both axes, only wall-clock moves.
 //!
+//! A final `cached_sweep` pair times the same multi-app sweep through
+//! the `desc-cache` cell store cold (fresh store, all misses) and warm
+//! (populated store, all hits) on a new `cache` axis, with the
+//! observed hit/miss counters recorded alongside the rates.
+//!
 //! `--jobs N` sizes the process-wide `desc_exec` pool (a pool never
 //! shrinks, so sweeping jobs takes one process per value — see
 //! `scripts/bench_scaling.sh`); `--shards A,B,C` selects the shard
@@ -30,13 +35,16 @@
 //! should not be compared against untraced history entries.
 
 use desc_bench::{best_rate, Harness};
+use desc_cache::{CacheStats, CacheStore};
 use desc_core::schemes::SchemeKind;
+use desc_experiments::cache::CELL_SCHEMA_VERSION;
 use desc_experiments::common::run_app;
 use desc_experiments::Scale;
 use desc_sim::{SimConfig, SnucaSim};
 use desc_telemetry::Json;
 use desc_workloads::BenchmarkId;
 use std::hint::black_box;
+use std::sync::Arc;
 
 const ACCESSES: usize = 4_000;
 const REPS: usize = 5;
@@ -159,6 +167,67 @@ fn main() {
             });
             record(&mut harness, label, shards, cells_per_sec);
         }
+    }
+
+    // Cache axis: the same quick-scale sweep cold (fresh store per
+    // timing, every cell computed and stored) vs warm (one populated
+    // store, every cell a hit). Rows carry `cache: "cold"|"warm"` plus
+    // the hit/miss counters observed during the timed reps, so the
+    // history can assert the warm sweep really was served from cache.
+    {
+        let scale = Scale { accesses: ACCESSES, apps: 4, seed: 2013, jobs, shards: 1 };
+        let suite = scale.suite();
+        let kinds = [SchemeKind::ConventionalBinary, SchemeKind::ZeroSkippedDesc];
+        let cells = (suite.len() * kinds.len()) as f64;
+        let sweep = |scale: &Scale| {
+            for kind in kinds {
+                for p in &suite {
+                    black_box(run_app(kind, p, scale).l2_energy());
+                }
+            }
+        };
+        let record_cached = |harness: &mut Harness, cache: &str, cells_per_sec: f64, stats: CacheStats| {
+            let label = format!("cached_sweep[{cache}]");
+            let accesses_per_sec = cells_per_sec * ACCESSES as f64;
+            println!("{label:<24} {jobs:>5} {:>7} {cells_per_sec:>14.2} {accesses_per_sec:>18.0}", 1);
+            harness.push(
+                Json::obj()
+                    .with("scheme", Json::Str("cached_sweep".to_owned()))
+                    .with("cache", Json::Str(cache.to_owned()))
+                    .with("jobs", Json::UInt(jobs as u64))
+                    .with("shards", Json::UInt(1))
+                    .with("cells_per_sec", Json::Num((cells_per_sec * 100.0).round() / 100.0))
+                    .with("accesses_per_sec", Json::Num(accesses_per_sec.round()))
+                    .with("cache_hits", Json::UInt(stats.hits()))
+                    .with("cache_misses", Json::UInt(stats.misses)),
+            );
+        };
+        // Cold: a fresh store every invocation, so each timed sweep
+        // computes and stores all cells.
+        let cold_store = std::cell::RefCell::new(Arc::new(CacheStore::in_memory(CELL_SCHEMA_VERSION)));
+        let cold_rate = best_rate(1, 3, || {
+            let store = Arc::new(CacheStore::in_memory(CELL_SCHEMA_VERSION));
+            desc_experiments::cache::install(Some(Arc::clone(&store)));
+            sweep(&scale);
+            *cold_store.borrow_mut() = store;
+        });
+        record_cached(&mut harness, "cold", cold_rate * cells, cold_store.borrow().stats());
+        // Warm: keep the last cold run's store; every cell hits.
+        let store = cold_store.into_inner();
+        desc_experiments::cache::install(Some(Arc::clone(&store)));
+        let before = store.stats();
+        let warm_rate = best_rate(3, REPS, || sweep(&scale));
+        let after = store.stats();
+        desc_experiments::cache::install(None);
+        let delta = CacheStats {
+            hits_memory: after.hits_memory - before.hits_memory,
+            hits_disk: after.hits_disk - before.hits_disk,
+            misses: after.misses - before.misses,
+            stores: after.stores - before.stores,
+            version_mismatches: after.version_mismatches - before.version_mismatches,
+            errors: after.errors - before.errors,
+        };
+        record_cached(&mut harness, "warm", warm_rate * cells, delta);
     }
 
     if let Some(path) = &args.trace_path {

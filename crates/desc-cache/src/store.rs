@@ -1,0 +1,396 @@
+//! The two-tier cell-result store: an in-memory hot map in front of
+//! an on-disk, content-addressed store of record.
+//!
+//! - **Hot tier**: `HashMap<CellKey, Arc<Entry>>` under one mutex.
+//!   Every disk hit and every store populates it, so overlapping
+//!   figures in one process (fig16/fig22/fig25 sweep the same grid)
+//!   pay the disk once per cell.
+//! - **Store of record**: one file per cell at
+//!   `<dir>/objects/<first 2 hex>/<32 hex>.cell`, written atomically
+//!   (temp + rename) in the versioned, checksummed entry format of
+//!   [`crate::codec`]. Lookups *probe* the filesystem — the manifest
+//!   is never consulted for reads — so the store self-heals: deleting
+//!   any object just makes that cell recompute.
+//! - **Manifest**: an advisory append-only completion log (see
+//!   [`crate::manifest`]) driving `--resume` reporting.
+//!
+//! Every outcome is counted ([`CacheStats`]) and mirrored into
+//! `cache.*` registry counters while telemetry is enabled, which is
+//! how the hit/miss counters reach the `cache` stanza of
+//! `desc-run-report/v1` and `bench_pipeline`'s cache axis. `cache.*`
+//! names are excluded from metric capture and from determinism
+//! comparisons, like `pool.*`.
+//!
+//! A lookup never returns a wrong or stale result class: entries are
+//! validated (checksum, version, key echo) at decode time, and a
+//! version-mismatched or corrupt entry is counted and treated as a
+//! miss — the cell recomputes and the entry is overwritten.
+
+use crate::codec::{decode_entry, encode_entry, CodecError, Entry};
+use crate::hash::CellKey;
+use crate::manifest::{write_atomic, Manifest};
+use desc_telemetry::Snapshot;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Point-in-time store counters (also mirrored as `cache.*` registry
+/// counters while telemetry is enabled).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the in-memory hot map.
+    pub hits_memory: u64,
+    /// Lookups served from the on-disk store of record.
+    pub hits_disk: u64,
+    /// Lookups that found no usable entry.
+    pub misses: u64,
+    /// Entries written.
+    pub stores: u64,
+    /// Structurally sound entries skipped for carrying a different
+    /// cell-schema version.
+    pub version_mismatches: u64,
+    /// Corrupt/unreadable entries and failed writes (all non-fatal).
+    pub errors: u64,
+}
+
+impl CacheStats {
+    /// Total hits across both tiers.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits_memory + self.hits_disk
+    }
+}
+
+#[derive(Debug, Default)]
+struct StatCells {
+    hits_memory: AtomicU64,
+    hits_disk: AtomicU64,
+    misses: AtomicU64,
+    stores: AtomicU64,
+    version_mismatches: AtomicU64,
+    errors: AtomicU64,
+}
+
+/// The two-tier content-addressed cell store. Cheap to share
+/// (`Arc<CacheStore>`); all methods take `&self`.
+#[derive(Debug)]
+pub struct CacheStore {
+    dir: Option<PathBuf>,
+    version: u32,
+    hot: Mutex<HashMap<CellKey, Arc<Entry>>>,
+    manifest: Option<Mutex<Manifest>>,
+    stats: StatCells,
+}
+
+impl CacheStore {
+    /// A memory-only store (hot tier without a store of record) —
+    /// used by in-process warm/cold tests and available to embedders
+    /// that only want intra-process dedup.
+    #[must_use]
+    pub fn in_memory(version: u32) -> Self {
+        Self {
+            dir: None,
+            version,
+            hot: Mutex::new(HashMap::new()),
+            manifest: None,
+            stats: StatCells::default(),
+        }
+    }
+
+    /// Opens (creating as needed) the on-disk store at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the directory cannot be created, written (probed
+    /// with an atomic write), or its manifest cannot be read — the
+    /// conditions `repro` maps to its cache exit code. A *damaged*
+    /// manifest is not an error (tolerant loader).
+    pub fn open(dir: impl Into<PathBuf>, version: u32) -> std::io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(dir.join("objects"))?;
+        // Probe writability up front so a read-only directory fails
+        // loudly at startup instead of degrading every store.
+        let probe = dir.join(".probe");
+        write_atomic(&probe, b"desc-cache")?;
+        std::fs::remove_file(&probe)?;
+        let manifest = Manifest::load(dir.join("manifest"))?;
+        Ok(Self {
+            dir: Some(dir),
+            version,
+            hot: Mutex::new(HashMap::new()),
+            manifest: Some(Mutex::new(manifest)),
+            stats: StatCells::default(),
+        })
+    }
+
+    /// The backing directory, when this store has one.
+    #[must_use]
+    pub fn dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
+    }
+
+    /// The cell-schema version this store serves.
+    #[must_use]
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    fn object_path(&self, dir: &Path, key: &CellKey) -> PathBuf {
+        let hex = key.hex();
+        dir.join("objects").join(&hex[..2]).join(format!("{hex}.cell"))
+    }
+
+    /// Looks up `key`: hot map first, then a disk probe. With
+    /// `require_delta`, an entry without a captured metric delta is
+    /// treated as a miss (a telemetry-enabled run must be able to
+    /// replay the cell's metrics; recomputing overwrites the entry
+    /// with one that has them).
+    pub fn lookup(&self, key: &CellKey, require_delta: bool) -> Option<Arc<Entry>> {
+        let usable = |e: &Entry| !require_delta || e.delta.is_some();
+        if let Some(entry) = self.hot.lock().expect("hot map poisoned").get(key) {
+            if usable(entry) {
+                self.bump(&self.stats.hits_memory, "cache.hits_memory");
+                return Some(Arc::clone(entry));
+            }
+            self.bump(&self.stats.misses, "cache.misses");
+            return None;
+        }
+        let Some(dir) = &self.dir else {
+            self.bump(&self.stats.misses, "cache.misses");
+            return None;
+        };
+        let path = self.object_path(dir, key);
+        let bytes = match std::fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(e) => {
+                if e.kind() != std::io::ErrorKind::NotFound {
+                    self.bump(&self.stats.errors, "cache.errors");
+                }
+                self.bump(&self.stats.misses, "cache.misses");
+                return None;
+            }
+        };
+        match decode_entry(&bytes, self.version, key) {
+            Ok(entry) if usable(&entry) => {
+                let entry = Arc::new(entry);
+                self.hot
+                    .lock()
+                    .expect("hot map poisoned")
+                    .insert(*key, Arc::clone(&entry));
+                self.bump(&self.stats.hits_disk, "cache.hits_disk");
+                Some(entry)
+            }
+            Ok(_) => {
+                self.bump(&self.stats.misses, "cache.misses");
+                None
+            }
+            Err(CodecError::Version { .. }) => {
+                self.bump(&self.stats.version_mismatches, "cache.version_mismatches");
+                self.bump(&self.stats.misses, "cache.misses");
+                None
+            }
+            Err(_) => {
+                self.bump(&self.stats.errors, "cache.errors");
+                self.bump(&self.stats.misses, "cache.misses");
+                None
+            }
+        }
+    }
+
+    /// Reports that an entry returned by [`CacheStore::lookup`] had an
+    /// undecodable payload (caller-level codec disagreement). Evicts
+    /// it from the hot tier so the recompute's [`CacheStore::store`]
+    /// is what future lookups see.
+    pub fn note_corrupt(&self, key: &CellKey) {
+        self.hot.lock().expect("hot map poisoned").remove(key);
+        self.bump(&self.stats.errors, "cache.errors");
+    }
+
+    /// Stores a computed cell under `key` (hot map immediately; object
+    /// file atomically; manifest recorded last, so a manifest entry
+    /// implies its object was published). Write failures are counted,
+    /// never raised — a broken disk degrades the cache to memory-only
+    /// behavior rather than failing the run.
+    pub fn store(&self, key: &CellKey, payload: Vec<u8>, delta: Option<Snapshot>) {
+        let entry = Arc::new(Entry { payload, delta });
+        self.hot
+            .lock()
+            .expect("hot map poisoned")
+            .insert(*key, Arc::clone(&entry));
+        self.bump(&self.stats.stores, "cache.stores");
+        let Some(dir) = &self.dir else { return };
+        let bytes = encode_entry(self.version, key, &entry.payload, entry.delta.as_ref());
+        let path = self.object_path(dir, key);
+        let written = path
+            .parent()
+            .map(std::fs::create_dir_all)
+            .unwrap_or(Ok(()))
+            .and_then(|()| write_atomic(&path, &bytes));
+        if written.is_err() {
+            self.bump(&self.stats.errors, "cache.errors");
+            return;
+        }
+        if let Some(manifest) = &self.manifest {
+            let recorded = manifest
+                .lock()
+                .expect("manifest poisoned")
+                .record(*key, self.version);
+            if recorded.is_err() {
+                self.bump(&self.stats.errors, "cache.errors");
+            }
+        }
+    }
+
+    /// Current counters.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits_memory: self.stats.hits_memory.load(Ordering::Relaxed),
+            hits_disk: self.stats.hits_disk.load(Ordering::Relaxed),
+            misses: self.stats.misses.load(Ordering::Relaxed),
+            stores: self.stats.stores.load(Ordering::Relaxed),
+            version_mismatches: self.stats.version_mismatches.load(Ordering::Relaxed),
+            errors: self.stats.errors.load(Ordering::Relaxed),
+        }
+    }
+
+    /// `(key, version)` entries in the manifest (0 for memory-only
+    /// stores).
+    #[must_use]
+    pub fn manifest_cells(&self) -> u64 {
+        self.manifest
+            .as_ref()
+            .map(|m| m.lock().expect("manifest poisoned").len() as u64)
+            .unwrap_or(0)
+    }
+
+    /// Malformed manifest lines dropped at load (0 for memory-only).
+    #[must_use]
+    pub fn manifest_skipped(&self) -> u64 {
+        self.manifest
+            .as_ref()
+            .map(|m| m.lock().expect("manifest poisoned").skipped())
+            .unwrap_or(0)
+    }
+
+    fn bump(&self, cell: &AtomicU64, metric: &str) {
+        cell.fetch_add(1, Ordering::Relaxed);
+        // Cell-granular (not per-access), so the registry lookup is
+        // fine without a cached handle.
+        if desc_telemetry::enabled() {
+            desc_telemetry::global().counter(metric).incr();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(n: u64) -> CellKey {
+        CellKey { hi: n.wrapping_mul(0x9e37_79b9_7f4a_7c15), lo: n }
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("desc-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn memory_store_round_trip_and_stats() {
+        let store = CacheStore::in_memory(1);
+        assert!(store.lookup(&key(1), false).is_none());
+        store.store(&key(1), vec![1, 2, 3], None);
+        let hit = store.lookup(&key(1), false).expect("hot hit");
+        assert_eq!(hit.payload, vec![1, 2, 3]);
+        // An entry without a delta is unusable when one is required.
+        assert!(store.lookup(&key(1), true).is_none());
+        let stats = store.stats();
+        assert_eq!(
+            (stats.hits_memory, stats.misses, stats.stores),
+            (1, 2, 1),
+            "{stats:?}"
+        );
+    }
+
+    #[test]
+    fn disk_store_survives_reopen_like_a_new_process() {
+        let dir = tmp_dir("reopen");
+        {
+            let store = CacheStore::open(&dir, 1).unwrap();
+            store.store(&key(7), b"result".to_vec(), None);
+            assert_eq!(store.manifest_cells(), 1);
+        }
+        let store = CacheStore::open(&dir, 1).unwrap();
+        let hit = store.lookup(&key(7), false).expect("disk hit");
+        assert_eq!(hit.payload, b"result");
+        assert_eq!(store.stats().hits_disk, 1);
+        // Second lookup is served hot.
+        store.lookup(&key(7), false).unwrap();
+        assert_eq!(store.stats().hits_memory, 1);
+        assert_eq!(store.manifest_cells(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn version_bump_invalidates_without_error() {
+        let dir = tmp_dir("version");
+        CacheStore::open(&dir, 1).unwrap().store(&key(3), vec![9], None);
+        let newer = CacheStore::open(&dir, 2).unwrap();
+        assert!(newer.lookup(&key(3), false).is_none());
+        let stats = newer.stats();
+        assert_eq!((stats.version_mismatches, stats.errors, stats.misses), (1, 0, 1));
+        // Recompute overwrites under the new version.
+        newer.store(&key(3), vec![10], None);
+        assert_eq!(
+            CacheStore::open(&dir, 2).unwrap().lookup(&key(3), false).unwrap().payload,
+            vec![10]
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_object_is_a_counted_miss() {
+        let dir = tmp_dir("corrupt");
+        let store = CacheStore::open(&dir, 1).unwrap();
+        store.store(&key(5), vec![1, 2, 3], None);
+        let path = store.object_path(store.dir().unwrap(), &key(5));
+        // Truncate the object (a state atomic writes cannot produce;
+        // simulates external damage).
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        let fresh = CacheStore::open(&dir, 1).unwrap();
+        assert!(fresh.lookup(&key(5), false).is_none());
+        let stats = fresh.stats();
+        assert_eq!((stats.errors, stats.misses), (1, 1));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn delta_round_trips_through_disk() {
+        let dir = tmp_dir("delta");
+        let delta = Snapshot {
+            metrics: vec![(
+                "sim.test.counter".to_owned(),
+                desc_telemetry::MetricValue::Counter(42),
+            )],
+        };
+        CacheStore::open(&dir, 1).unwrap().store(&key(8), vec![0], Some(delta.clone()));
+        let store = CacheStore::open(&dir, 1).unwrap();
+        let hit = store.lookup(&key(8), true).expect("delta-bearing hit");
+        assert_eq!(hit.delta.as_ref().unwrap().metrics, delta.metrics);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_rejects_a_file_as_cache_dir() {
+        let dir = tmp_dir("notadir");
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("plain-file");
+        std::fs::write(&file, b"x").unwrap();
+        assert!(CacheStore::open(&file, 1).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

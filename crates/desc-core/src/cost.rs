@@ -194,6 +194,15 @@ impl CostSummary {
         Self::default()
     }
 
+    /// Reconstructs a summary from its serialized parts (the cache
+    /// codec round-trips `total()`/`blocks()`/`max_cycles()` through
+    /// this). Does not touch telemetry — replaying cached metrics is
+    /// the caller's job.
+    #[must_use]
+    pub fn from_parts(total: TransferCost, blocks: u64, max_cycles: u64) -> Self {
+        Self { total, blocks, max_cycles }
+    }
+
     /// Records the cost of one block transfer.
     ///
     /// When telemetry is enabled the transfer is also mirrored into

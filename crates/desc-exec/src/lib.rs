@@ -208,6 +208,14 @@ struct Region {
     /// Timing sink, captured at submit time iff telemetry was enabled
     /// — the per-task clock reads in `execute_until_empty` key off it.
     agg: Option<Arc<RegionAgg>>,
+    /// Metric capture sink installed on the submitting thread, if any
+    /// (see `desc_telemetry::capture`). Snapshotted at submit time and
+    /// re-installed on every thread that drains the region, so a
+    /// cached cell's nested partition work is captured no matter which
+    /// pool thread runs it. The inline (0-worker / already-in-task)
+    /// paths run on the submitting thread itself, where the sink is
+    /// already installed.
+    sink: Option<Arc<desc_telemetry::CaptureSink>>,
     /// Next unclaimed task index; CAS-claimed so it never exceeds
     /// `total` (which keeps the cancellation arithmetic on the panic
     /// path exact).
@@ -250,6 +258,7 @@ impl Region {
             cap,
             submitted_us,
             agg,
+            sink: desc_telemetry::capture_sink(),
             next: AtomicUsize::new(0),
             // The submitting caller counts as already active.
             active: AtomicUsize::new(1),
@@ -306,6 +315,14 @@ impl Region {
     /// caller wakes) and records the first payload for re-raising on
     /// the submitting thread.
     fn execute_until_empty(&self) -> u64 {
+        // Mirror the submitter's metric capture (if any) for the whole
+        // drain; the guard restores this thread's previous sink. On
+        // the submitting thread itself this re-installs the same sink,
+        // which is a no-op difference.
+        let _capture = self
+            .sink
+            .as_ref()
+            .map(|s| desc_telemetry::install_capture(Some(Arc::clone(s))));
         let mut ran = 0u64;
         while let Some(i) = self.claim() {
             ran += 1;

@@ -21,6 +21,11 @@
 //! | 2    | usage error (unknown/malformed flag, no names) |
 //! | 3    | unknown experiment name                        |
 //! | 4    | failed to write a requested output file        |
+//! | 5    | `--cache-dir` unusable (cannot create/write)   |
+//!
+//! Damaged cache *contents* never exit nonzero: a version-mismatched
+//! or corrupt entry is warned about, recomputed, and overwritten —
+//! the cache can degrade a run's speed, never its figures.
 
 use desc_experiments::progress::{self, Reporter};
 use desc_experiments::{experiment_names, run_experiment, Scale};
@@ -35,6 +40,9 @@ const EXIT_UNKNOWN_EXPERIMENT: u8 = 3;
 /// A requested output file (`--report`, `--trace`) could not be
 /// written.
 const EXIT_WRITE_FAILED: u8 = 4;
+/// `--cache-dir` could not be opened (created, probed writable, or
+/// its manifest read).
+const EXIT_CACHE: u8 = 5;
 
 /// Prints a usage-class error and returns the usage exit code.
 fn usage_error(msg: &str) -> ExitCode {
@@ -54,6 +62,9 @@ fn main() -> ExitCode {
     let mut jobs: Option<usize> = None;
     let mut report_path: Option<std::path::PathBuf> = None;
     let mut trace_path: Option<std::path::PathBuf> = None;
+    let mut cache_dir: Option<std::path::PathBuf> = None;
+    let mut no_cache = false;
+    let mut resume = false;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -94,6 +105,14 @@ fn main() -> ExitCode {
                 }
                 _ => return usage_error("--report needs an output path argument"),
             },
+            "--cache-dir" => match iter.next() {
+                Some(path) if !path.is_empty() => {
+                    cache_dir = Some(std::path::PathBuf::from(path));
+                }
+                _ => return usage_error("--cache-dir needs a directory path argument"),
+            },
+            "--no-cache" => no_cache = true,
+            "--resume" => resume = true,
             "--trace" => match iter.next() {
                 Some(path) if !path.is_empty() => {
                     trace_path = Some(std::path::PathBuf::from(path));
@@ -110,7 +129,7 @@ fn main() -> ExitCode {
                 println!(
                     "usage: repro [--quick|--tiny] [--csv] [--quiet] [--seed N] [--accesses N] \
                      [--apps N] [--jobs N] [--shards N] [--report PATH] [--trace PATH] \
-                     <experiment...|all>\n\
+                     [--cache-dir DIR [--no-cache] [--resume]] <experiment...|all>\n\
                      --jobs N      run up to N sweep cells concurrently; results are\n\
                      bit-identical for any N (default: all hardware threads)\n\
                      --shards N    run up to N of each cell's bank partitions concurrently;\n\
@@ -122,11 +141,17 @@ fn main() -> ExitCode {
                      --trace PATH  enable telemetry and write a Chrome trace-event JSON\n\
                      timeline (one lane per pool thread) for Perfetto;\n\
                      see docs/TELEMETRY.md\n\
+                     --cache-dir DIR  memoize completed sweep cells under DIR and serve\n\
+                     repeat cells from it; warm results are byte-identical\n\
+                     to cold ones (see docs/CACHE.md)\n\
+                     --no-cache    ignore --cache-dir for this run (no reads or writes)\n\
+                     --resume      continue an interrupted run from DIR's manifest;\n\
+                     requires --cache-dir\n\
                      --quiet       suppress the live progress line on stderr\n\
                      --progress    force the live progress line even when stderr is\n\
                      not a terminal\n\
                      exit codes: 0 ok, 2 usage error, 3 unknown experiment,\n\
-                     4 output write failure\n\
+                     4 output write failure, 5 unusable cache dir\n\
                      experiments: {}",
                     experiment_names().join(" ")
                 );
@@ -160,10 +185,45 @@ fn main() -> ExitCode {
             return ExitCode::from(EXIT_UNKNOWN_EXPERIMENT);
         }
     }
+    if resume && (cache_dir.is_none() || no_cache) {
+        return usage_error("--resume requires --cache-dir (and is meaningless with --no-cache)");
+    }
     let telemetry = report_path.is_some() || trace_path.is_some();
     if telemetry {
         desc_telemetry::set_enabled(true);
     }
+    // Open the cell cache after the telemetry switch settles so the
+    // store's `cache.*` counters reach the report.
+    let store = match (&cache_dir, no_cache) {
+        (Some(dir), false) => {
+            match desc_cache::CacheStore::open(dir, desc_experiments::cache::CELL_SCHEMA_VERSION) {
+                Ok(store) => {
+                    let store = std::sync::Arc::new(store);
+                    desc_experiments::cache::install(Some(std::sync::Arc::clone(&store)));
+                    if store.manifest_skipped() > 0 {
+                        eprintln!(
+                            "repro: warning: dropped {} malformed manifest line(s) in {}",
+                            store.manifest_skipped(),
+                            dir.display()
+                        );
+                    }
+                    if resume {
+                        eprintln!(
+                            "repro: resuming from {} ({} completed cell(s) in the manifest)",
+                            dir.display(),
+                            store.manifest_cells()
+                        );
+                    }
+                    Some(store)
+                }
+                Err(e) => {
+                    eprintln!("repro: unusable cache dir {}: {e}", dir.display());
+                    return ExitCode::from(EXIT_CACHE);
+                }
+            }
+        }
+        _ => None,
+    };
     // Size the shared pool once telemetry state is settled. `--jobs`
     // sets the pool size; `--shards` only caps how many of a cell's
     // bank partitions run concurrently *within* that pool — the two
@@ -201,6 +261,33 @@ fn main() -> ExitCode {
         reporter.finish();
     }
 
+    if let Some(store) = &store {
+        let s = store.stats();
+        eprintln!(
+            "cache: {} hits ({} memory, {} disk), {} misses, {} stores; manifest has {} cell(s)",
+            s.hits(),
+            s.hits_memory,
+            s.hits_disk,
+            s.misses,
+            s.stores,
+            store.manifest_cells()
+        );
+        if s.version_mismatches > 0 {
+            eprintln!(
+                "repro: warning: {} entr{} from a different cell-schema version recomputed",
+                s.version_mismatches,
+                if s.version_mismatches == 1 { "y" } else { "ies" }
+            );
+        }
+        if s.errors > 0 {
+            eprintln!(
+                "repro: warning: {} corrupt or unwritable cache entr{} (recomputed; non-fatal)",
+                s.errors,
+                if s.errors == 1 { "y" } else { "ies" }
+            );
+        }
+    }
+
     // One drain serves both artifacts, so the report's spans and the
     // Chrome timeline describe the same events.
     let spans = if telemetry { desc_telemetry::drain_spans() } else { Vec::new() };
@@ -226,6 +313,21 @@ fn main() -> ExitCode {
             },
             snapshot: desc_telemetry::global().snapshot(),
             pool: Some(desc_exec::utilization()),
+            cache: store.as_ref().map(|store| {
+                let s = store.stats();
+                desc_telemetry::CacheReport {
+                    dir: store.dir().map(|p| p.display().to_string()),
+                    schema_version: u64::from(store.version()),
+                    hits_memory: s.hits_memory,
+                    hits_disk: s.hits_disk,
+                    misses: s.misses,
+                    stores: s.stores,
+                    version_mismatches: s.version_mismatches,
+                    errors: s.errors,
+                    manifest_cells: store.manifest_cells(),
+                    resumed: resume,
+                }
+            }),
             spans,
         };
         if let Err(e) = report.write_to(path) {

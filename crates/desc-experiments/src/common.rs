@@ -153,17 +153,133 @@ pub fn run_custom(
     AppRun { result, l2, processor }
 }
 
+/// [`run_custom`] behind the cell cache: when `repro --cache-dir`
+/// installed a [`desc_cache::CacheStore`] (see [`crate::cache`]), the
+/// cell's content address is looked up first and a hit skips the
+/// simulation entirely. `scheme_id` must spell out the scheme's
+/// constructor arguments (wires, chunk size, skip mode, ablations) —
+/// everything [`TransferScheme::name`] does not expose.
+///
+/// Warm hits are bitwise-faithful: payload floats round-trip as exact
+/// bit patterns, and when telemetry is enabled the cell's captured
+/// metric delta is replayed into the global registry, so a warm run's
+/// figure CSVs *and* report metrics match a cold run byte for byte.
+/// A telemetry-enabled run treats delta-less entries (stored by dark
+/// runs) as misses and overwrites them with delta-bearing ones.
+#[must_use]
+pub fn run_custom_keyed(
+    scheme_id: &str,
+    scheme: Box<dyn TransferScheme>,
+    config: SimConfig,
+    profile: &BenchmarkProfile,
+    scale: &Scale,
+    static_overhead: f64,
+) -> AppRun {
+    let Some(store) = crate::cache::active() else {
+        return run_custom(scheme, config, profile, scale, static_overhead);
+    };
+    let key = crate::cache::app_key(
+        scheme_id,
+        scheme.as_ref(),
+        &config,
+        profile,
+        scale,
+        static_overhead,
+    );
+    let want_delta = desc_telemetry::enabled();
+    if let Some(entry) = store.lookup(&key, want_delta) {
+        match crate::cache::decode_app_run(&entry.payload) {
+            Ok(run) => {
+                if want_delta {
+                    if let Some(delta) = &entry.delta {
+                        desc_telemetry::replay(delta);
+                    }
+                }
+                return run;
+            }
+            // Undecodable payload (codec drift without a version
+            // bump): count it, evict it, recompute below.
+            Err(_) => store.note_corrupt(&key),
+        }
+    }
+    let (run, delta) = if want_delta {
+        let sink = desc_telemetry::CaptureSink::new();
+        let run = desc_telemetry::with_capture(&sink, || {
+            run_custom(scheme, config, profile, scale, static_overhead)
+        });
+        (run, Some(sink.snapshot()))
+    } else {
+        (run_custom(scheme, config, profile, scale, static_overhead), None)
+    };
+    store.store(&key, crate::cache::encode_app_run(&run), delta);
+    run
+}
+
 /// Simulates `profile` under a paper-configured scheme on the paper's
-/// multithreaded machine.
+/// multithreaded machine. Cached per cell when a store is installed
+/// (see [`run_custom_keyed`]).
 #[must_use]
 pub fn run_app(kind: SchemeKind, profile: &BenchmarkProfile, scale: &Scale) -> AppRun {
-    run_custom(
+    run_custom_keyed(
+        &format!("paper:{kind:?}"),
         kind.build_paper_config(),
         SimConfig::paper_multithreaded(),
         profile,
         scale,
         scheme_static_overhead(kind),
     )
+}
+
+/// One S-NUCA-1 run behind the cell cache: constructs the
+/// [`desc_sim::SnucaSim`] per call so fig. 23 and fig. 24 — which run
+/// the same `(scheme, app)` cells — share cache entries. Same
+/// contract as [`run_custom_keyed`].
+#[must_use]
+pub fn run_snuca(
+    scheme_id: &str,
+    scheme: Box<dyn TransferScheme>,
+    config: SimConfig,
+    profile: &BenchmarkProfile,
+    scale: &Scale,
+) -> desc_sim::snuca::SnucaResult {
+    let compute = |scheme: Box<dyn TransferScheme>| {
+        let sim = desc_sim::SnucaSim::new(config, *profile, scale.seed);
+        sim.run(scheme, scale.accesses)
+    };
+    let Some(store) = crate::cache::active() else {
+        return compute(scheme);
+    };
+    let key = crate::cache::snuca_key(
+        scheme_id,
+        scheme.as_ref(),
+        &config,
+        profile,
+        scale.seed,
+        scale.accesses,
+    );
+    let want_delta = desc_telemetry::enabled();
+    if let Some(entry) = store.lookup(&key, want_delta) {
+        match crate::cache::decode_snuca(&entry.payload) {
+            Ok(result) => {
+                if want_delta {
+                    if let Some(delta) = &entry.delta {
+                        desc_telemetry::replay(delta);
+                    }
+                }
+                return result;
+            }
+            Err(_) => store.note_corrupt(&key),
+        }
+    }
+    let (result, delta) = if want_delta {
+        let sink = desc_telemetry::CaptureSink::new();
+        let result = desc_telemetry::with_capture(&sink, || compute(scheme));
+        (result, Some(sink.snapshot()))
+    } else {
+        (compute(scheme), None)
+    };
+    store.store(&key, crate::cache::encode_snuca(&result), delta);
+    result
 }
 
 /// Runs every cell of a (row × configuration) sweep on the

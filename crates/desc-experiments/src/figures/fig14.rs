@@ -4,7 +4,7 @@
 //! minimises both L2 and total processor energy at a negligible
 //! performance cost.
 
-use crate::common::{run_custom, run_matrix, Scale};
+use crate::common::{run_custom_keyed, run_matrix, Scale};
 use crate::table::{r2, Table};
 use desc_cacti::DeviceType;
 use desc_core::schemes::SchemeKind;
@@ -26,7 +26,8 @@ pub fn run(scale: &Scale) -> Table {
         let mut cfg = SimConfig::paper_multithreaded();
         cfg.l2.cell_device = cell;
         cfg.l2.periphery_device = periphery;
-        let run = run_custom(
+        let run = run_custom_keyed(
+            "paper:ConventionalBinary",
             SchemeKind::ConventionalBinary.build_paper_config(),
             cfg,
             p,

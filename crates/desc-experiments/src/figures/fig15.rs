@@ -3,7 +3,7 @@
 //! configuration of each scheme (starred in the paper) becomes its
 //! Fig. 16 baseline.
 
-use crate::common::{run_custom, run_matrix, Scale};
+use crate::common::{run_custom_keyed, run_matrix, Scale};
 use crate::table::{r2, Table};
 use desc_core::schemes::{
     BusInvertScheme, DzcScheme, EncodedZeroSkipBusInvertScheme, SchemeKind,
@@ -39,10 +39,18 @@ pub fn run(scale: &Scale) -> Table {
     }
     let per_app = run_matrix(&configs, &suite, scale, |&(name, seg), p| {
         if name == "Binary" {
-            run_custom(SchemeKind::ConventionalBinary.build_paper_config(), cfg, p, scale, 1.0)
-                .l2_energy()
+            run_custom_keyed(
+                "paper:ConventionalBinary",
+                SchemeKind::ConventionalBinary.build_paper_config(),
+                cfg,
+                p,
+                scale,
+                1.0,
+            )
+            .l2_energy()
         } else {
-            run_custom(build(name, seg), cfg, p, scale, 1.005).l2_energy()
+            run_custom_keyed(&format!("{name}:w64:seg{seg}"), build(name, seg), cfg, p, scale, 1.005)
+                .l2_energy()
         }
     });
     let totals: Vec<f64> =

@@ -2,7 +2,7 @@
 //! zero-skipped DESC on 64- and 128-wire data buses. Paper: DESC adds
 //! 31.2 cycles at 64 wires and 8.45 cycles at 128 wires.
 
-use crate::common::{run_custom, run_matrix, Scale};
+use crate::common::{run_custom_keyed, run_matrix, Scale};
 use crate::table::{r2, Table};
 use desc_core::schemes::{BinaryScheme, DescScheme, SkipMode};
 use desc_core::{ChunkSize, TransferScheme};
@@ -13,6 +13,14 @@ fn scheme_for(wires: usize, desc: bool) -> Box<dyn TransferScheme> {
         Box::new(DescScheme::new(wires, ChunkSize::PAPER_DEFAULT, SkipMode::Zero))
     } else {
         Box::new(BinaryScheme::new(wires))
+    }
+}
+
+fn scheme_id(wires: usize, desc: bool) -> String {
+    if desc {
+        format!("desc:w{wires}:c{}:skip=Zero", ChunkSize::PAPER_DEFAULT.bits())
+    } else {
+        format!("binary:w{wires}")
     }
 }
 
@@ -28,7 +36,7 @@ pub fn run(scale: &Scale) -> Table {
     let suite = scale.suite();
     let configs = [(64, false), (128, false), (64, true), (128, true)];
     let matrix = run_matrix(&configs, &suite, scale, |&(wires, desc), p| {
-        run_custom(scheme_for(wires, desc), cfg, p, scale, 1.0)
+        run_custom_keyed(&scheme_id(wires, desc), scheme_for(wires, desc), cfg, p, scale, 1.0)
     });
     for (p, row) in suite.iter().zip(&matrix) {
         let mut cells = vec![p.name.to_owned()];

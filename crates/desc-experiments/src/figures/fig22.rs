@@ -4,7 +4,7 @@
 //! baseline. Paper: DESC points push the energy frontier left without
 //! significantly increasing access latency.
 
-use crate::common::{run_custom, run_matrix, Scale};
+use crate::common::{run_custom_keyed, run_matrix, Scale};
 use crate::table::{r2, Table};
 use desc_core::schemes::{BinaryScheme, DescScheme, SkipMode};
 use desc_core::{ChunkSize, TransferScheme};
@@ -36,13 +36,16 @@ pub fn run(scale: &Scale) -> Table {
     let per_app = run_matrix(&configs, &suite, scale, |&(desc, banks, wires), p| {
         let mut cfg = SimConfig::paper_multithreaded();
         cfg.l2.banks = banks;
-        let scheme: Box<dyn TransferScheme> = if desc {
-            Box::new(DescScheme::new(wires, ChunkSize::PAPER_DEFAULT, SkipMode::Zero))
+        let (scheme, id): (Box<dyn TransferScheme>, String) = if desc {
+            (
+                Box::new(DescScheme::new(wires, ChunkSize::PAPER_DEFAULT, SkipMode::Zero)),
+                format!("desc:w{wires}:c{}:skip=Zero", ChunkSize::PAPER_DEFAULT.bits()),
+            )
         } else {
-            Box::new(BinaryScheme::new(wires))
+            (Box::new(BinaryScheme::new(wires)), format!("binary:w{wires}"))
         };
         let overhead = if desc { 1.03 } else { 1.0 };
-        let run = run_custom(scheme, cfg, p, scale, overhead);
+        let run = run_custom_keyed(&id, scheme, cfg, p, scale, overhead);
         (run.l2_energy(), run.result.exec_time_s)
     });
     let sums: Vec<(f64, f64)> = (0..configs.len())

@@ -1,10 +1,10 @@
 //! Fig. 23: execution time of zero-skipped DESC on an 8 MB S-NUCA-1
 //! cache, normalised to binary S-NUCA-1 (paper: ≈1% penalty).
 
-use crate::common::{run_matrix, Scale};
+use crate::common::{run_matrix, run_snuca, Scale};
 use crate::table::{geomean, r3, Table};
 use desc_core::schemes::SchemeKind;
-use desc_sim::{SimConfig, SnucaSim};
+use desc_sim::SimConfig;
 
 /// Runs the experiment.
 #[must_use]
@@ -17,9 +17,20 @@ pub fn run(scale: &Scale) -> Table {
     cfg.shards = scale.shards.max(1);
     let suite = scale.suite();
     let per_app = run_matrix(&[()], &suite, scale, |&(), p| {
-        let sim = SnucaSim::new(cfg, *p, scale.seed);
-        let bin = sim.run(SchemeKind::ConventionalBinary.build_paper_config(), scale.accesses);
-        let desc = sim.run(SchemeKind::ZeroSkippedDesc.build_paper_config(), scale.accesses);
+        let bin = run_snuca(
+            "paper:ConventionalBinary",
+            SchemeKind::ConventionalBinary.build_paper_config(),
+            cfg,
+            p,
+            scale,
+        );
+        let desc = run_snuca(
+            "paper:ZeroSkippedDesc",
+            SchemeKind::ZeroSkippedDesc.build_paper_config(),
+            cfg,
+            p,
+            scale,
+        );
         desc.exec_time_s / bin.exec_time_s
     });
     let mut ratios = Vec::new();

@@ -2,10 +2,10 @@
 //! normalised to binary S-NUCA-1 (paper: 1.62× improvement, i.e.
 //! ≈0.62 normalised).
 
-use crate::common::{run_matrix, Scale};
+use crate::common::{run_matrix, run_snuca, Scale};
 use crate::table::{geomean, r2, Table};
 use desc_core::schemes::SchemeKind;
-use desc_sim::{SimConfig, SnucaSim};
+use desc_sim::SimConfig;
 
 /// Runs the experiment.
 #[must_use]
@@ -18,9 +18,20 @@ pub fn run(scale: &Scale) -> Table {
     cfg.shards = scale.shards.max(1);
     let suite = scale.suite();
     let per_app = run_matrix(&[()], &suite, scale, |&(), p| {
-        let sim = SnucaSim::new(cfg, *p, scale.seed);
-        let bin = sim.run(SchemeKind::ConventionalBinary.build_paper_config(), scale.accesses);
-        let desc = sim.run(SchemeKind::ZeroSkippedDesc.build_paper_config(), scale.accesses);
+        let bin = run_snuca(
+            "paper:ConventionalBinary",
+            SchemeKind::ConventionalBinary.build_paper_config(),
+            cfg,
+            p,
+            scale,
+        );
+        let desc = run_snuca(
+            "paper:ZeroSkippedDesc",
+            SchemeKind::ZeroSkippedDesc.build_paper_config(),
+            cfg,
+            p,
+            scale,
+        );
         // DESC interfaces add static overhead here too.
         (desc.wire_energy_j + desc.array_energy_j + desc.static_energy_j * 1.03)
             / bin.total_energy_j()

@@ -3,7 +3,7 @@
 //! binary baseline. Paper: 4-bit chunks with 128 wires give the best
 //! energy-delay product; 8-bit chunks suffer long windows.
 
-use crate::common::{run_custom, run_matrix, Scale};
+use crate::common::{run_custom_keyed, run_matrix, Scale};
 use crate::table::{r2, Table};
 use desc_core::schemes::{DescScheme, SkipMode};
 use desc_core::ChunkSize;
@@ -26,7 +26,8 @@ pub fn run(scale: &Scale) -> Table {
     }
     let per_app = run_matrix(&configs, &suite, scale, |&(bits, wires), p| {
         let run = if bits == 0 {
-            run_custom(
+            run_custom_keyed(
+                "paper:ConventionalBinary",
                 desc_core::schemes::SchemeKind::ConventionalBinary.build_paper_config(),
                 cfg,
                 p,
@@ -39,7 +40,7 @@ pub fn run(scale: &Scale) -> Table {
                 ChunkSize::new(bits).expect("valid"),
                 SkipMode::Zero,
             ));
-            run_custom(scheme, cfg, p, scale, 1.03)
+            run_custom_keyed(&format!("desc:w{wires}:c{bits}:skip=Zero"), scheme, cfg, p, scale, 1.03)
         };
         (run.l2_energy(), run.result.exec_time_s)
     });

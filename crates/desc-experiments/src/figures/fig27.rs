@@ -3,7 +3,7 @@
 //! cache. Paper: DESC improves energy 1.87× (512 KB) to 1.75×
 //! (64 MB).
 
-use crate::common::{run_custom, run_matrix, Scale};
+use crate::common::{run_custom_keyed, run_matrix, Scale};
 use crate::table::{r2, Table};
 use desc_core::schemes::SchemeKind;
 use desc_sim::SimConfig;
@@ -36,7 +36,7 @@ pub fn run(scale: &Scale) -> Table {
         let mut cfg = SimConfig::paper_multithreaded();
         cfg.l2.capacity_bytes = capacity;
         let overhead = if kind.is_desc() { 1.03 } else { 1.0 };
-        run_custom(kind.build_paper_config(), cfg, p, scale, overhead).l2_energy()
+        run_custom_keyed(&format!("paper:{kind:?}"), kind.build_paper_config(), cfg, p, scale, overhead).l2_energy()
     });
     let sums: Vec<f64> =
         (0..configs.len()).map(|c| per_app.iter().map(|row| row[c]).sum()).collect();

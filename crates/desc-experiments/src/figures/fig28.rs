@@ -3,7 +3,7 @@
 //! segments), normalised to 64-bit binary with 64-bit-segment ECC.
 //! Paper: zero-skipped DESC stays within ≈1% of binary.
 
-use crate::common::{run_custom, run_matrix, Scale};
+use crate::common::{run_custom_keyed, run_matrix, Scale};
 use crate::table::{geomean, r3, Table};
 use desc_core::schemes::{BinaryScheme, DescScheme, SkipMode};
 use desc_core::{ChunkSize, TransferScheme};
@@ -53,7 +53,7 @@ pub fn measure(scale: &Scale) -> Vec<(String, [f64; 4], [f64; 4])> {
     let suite = scale.suite();
     let per_app = run_matrix(&CONFIGS, &suite, scale, |name, p| {
         let overhead = if name.contains("DESC") { 1.03 } else { 1.0 };
-        let run = run_custom(build_config(name), cfg, p, scale, overhead);
+        let run = run_custom_keyed(&format!("ecc:{name}"), build_config(name), cfg, p, scale, overhead);
         (run.result.exec_time_s, run.l2_energy())
     });
     suite

@@ -3,7 +3,7 @@
 //! (paper geomean ≈ 1.06 — latency-sensitive cores pay for DESC's
 //! longer transfers).
 
-use crate::common::{run_custom, run_matrix, Scale};
+use crate::common::{run_custom_keyed, run_matrix, Scale};
 use crate::table::{geomean, r3, Table};
 use desc_core::schemes::SchemeKind;
 use desc_sim::SimConfig;
@@ -21,7 +21,7 @@ pub fn run(scale: &Scale) -> Table {
     let kinds = [SchemeKind::ConventionalBinary, SchemeKind::ZeroSkippedDesc];
     let per_app = run_matrix(&kinds, &apps, scale, |&kind, p| {
         let overhead = if kind.is_desc() { 1.03 } else { 1.0 };
-        run_custom(kind.build_paper_config(), cfg, p, scale, overhead).result.exec_time_s
+        run_custom_keyed(&format!("paper:{kind:?}"), kind.build_paper_config(), cfg, p, scale, overhead).result.exec_time_s
     });
     let mut ratios = Vec::new();
     for (p, row) in apps.iter().zip(&per_app) {

@@ -33,6 +33,10 @@ fn bad_arguments_exit_2_with_a_stderr_line() {
         &["--shards", "zero", "fig13"],
         &["--report"],
         &["--trace"],
+        &["--cache-dir"],           // missing value
+        &["--cache-dir", "", "fig13"],
+        &["--resume", "--tiny", "fig13"], // --resume needs --cache-dir
+        &["--resume", "--no-cache", "--cache-dir", "/tmp", "fig13"],
         &["--frobnicate", "fig13"], // unknown flag
     ];
     for args in cases {
@@ -76,6 +80,25 @@ fn unwritable_output_path_exits_4() {
         let stderr = String::from_utf8_lossy(&out.stderr);
         assert!(stderr.contains("failed to write"), "{stderr:?}");
     }
+}
+
+#[test]
+fn unusable_cache_dir_exits_5() {
+    let dir = temp_dir("cache-exit");
+    // A plain file where the cache directory should be.
+    let file = dir.join("not-a-dir");
+    std::fs::write(&file, b"x").expect("create blocking file");
+    let out = repro(&["--tiny", "--quiet", "--cache-dir", file.to_str().expect("utf-8"), "fig13"]);
+    assert_eq!(
+        out.status.code(),
+        Some(5),
+        "a file as --cache-dir must exit 5, got {:?}",
+        out.status.code()
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unusable cache dir"), "{stderr:?}");
+    assert!(out.stdout.is_empty(), "cache errors must not print partial results");
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

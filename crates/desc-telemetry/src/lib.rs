@@ -42,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod capture;
 pub mod chrome;
 pub mod json;
 pub mod metrics;
@@ -49,11 +50,12 @@ pub mod registry;
 pub mod report;
 pub mod trace;
 
+pub use capture::{capture_sink, install_capture, replay, with_capture, CaptureGuard, CaptureSink};
 pub use chrome::{chrome_trace, write_chrome_trace};
 pub use json::Json;
 pub use metrics::{Counter, Gauge, Histogram, LocalHistogram, HISTOGRAM_BUCKETS};
 pub use registry::{MetricValue, Registry, Snapshot};
-pub use report::{PoolUtilization, RegionUtilization, Report, ReportMeta, WorkerUtilization};
+pub use report::{CacheReport, PoolUtilization, RegionUtilization, Report, ReportMeta, WorkerUtilization};
 pub use trace::{
     current_worker, drain_spans, now_us, set_context, span, spans_dropped, worker_names, Span,
     SpanGuard,

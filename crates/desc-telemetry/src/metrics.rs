@@ -28,8 +28,14 @@ pub fn bucket_floor(bucket: usize) -> u64 {
 /// A monotonically increasing event count. All operations are
 /// order-independent (wrapping add), so totals are identical no
 /// matter how work is split across threads.
+///
+/// Registry-owned counters carry their registration name so updates
+/// can be mirrored into an installed [`crate::capture::CaptureSink`];
+/// standalone counters (`Counter::new`) have an empty name and are
+/// never mirrored.
 #[derive(Debug, Default)]
 pub struct Counter {
+    name: &'static str,
     value: AtomicU64,
 }
 
@@ -37,12 +43,31 @@ impl Counter {
     /// A fresh zeroed counter.
     #[must_use]
     pub const fn new() -> Self {
-        Self { value: AtomicU64::new(0) }
+        Self::named("")
+    }
+
+    /// A fresh zeroed counter that mirrors updates under `name`.
+    #[must_use]
+    pub(crate) const fn named(name: &'static str) -> Self {
+        Self { name, value: AtomicU64::new(0) }
     }
 
     /// Adds `n` to the counter.
+    ///
+    /// Mirrored into the thread's capture sink even when `n` is 0, so
+    /// a captured delta registers exactly the metric names the direct
+    /// run would.
     #[inline]
     pub fn add(&self, n: u64) {
+        self.add_raw(n);
+        if !self.name.is_empty() {
+            crate::capture::mirror_counter(self.name, n);
+        }
+    }
+
+    /// Adds `n` without mirroring into any capture sink (replay path).
+    #[inline]
+    pub(crate) fn add_raw(&self, n: u64) {
         self.value.fetch_add(n, Ordering::Relaxed);
     }
 
@@ -69,6 +94,7 @@ impl Counter {
 /// wins and only deterministic in serial sections.
 #[derive(Debug, Default)]
 pub struct Gauge {
+    name: &'static str,
     value: AtomicU64,
 }
 
@@ -76,18 +102,37 @@ impl Gauge {
     /// A fresh zeroed gauge.
     #[must_use]
     pub const fn new() -> Self {
-        Self { value: AtomicU64::new(0) }
+        Self::named("")
+    }
+
+    /// A fresh zeroed gauge that mirrors updates under `name`.
+    #[must_use]
+    pub(crate) const fn named(name: &'static str) -> Self {
+        Self { name, value: AtomicU64::new(0) }
     }
 
     /// Stores `v` (last writer wins).
     #[inline]
     pub fn set(&self, v: u64) {
         self.value.store(v, Ordering::Relaxed);
+        if !self.name.is_empty() {
+            crate::capture::mirror_gauge_set(self.name, v);
+        }
     }
 
     /// Raises the gauge to `v` if `v` is larger (order-independent).
     #[inline]
     pub fn record_max(&self, v: u64) {
+        self.max_raw(v);
+        if !self.name.is_empty() {
+            crate::capture::mirror_gauge_max(self.name, v);
+        }
+    }
+
+    /// Raises the gauge without mirroring into any capture sink
+    /// (replay path).
+    #[inline]
+    pub(crate) fn max_raw(&self, v: u64) {
         self.value.fetch_max(v, Ordering::Relaxed);
     }
 
@@ -111,6 +156,7 @@ impl Gauge {
 /// interleaving.
 #[derive(Debug)]
 pub struct Histogram {
+    name: &'static str,
     count: AtomicU64,
     sum: AtomicU64,
     buckets: [AtomicU64; HISTOGRAM_BUCKETS],
@@ -126,7 +172,14 @@ impl Histogram {
     /// A fresh empty histogram.
     #[must_use]
     pub fn new() -> Self {
+        Self::named("")
+    }
+
+    /// A fresh empty histogram that mirrors updates under `name`.
+    #[must_use]
+    pub(crate) fn named(name: &'static str) -> Self {
         Self {
+            name,
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
@@ -139,6 +192,26 @@ impl Histogram {
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(value, Ordering::Relaxed);
         self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        if !self.name.is_empty() {
+            crate::capture::mirror_histogram_sample(self.name, value);
+        }
+    }
+
+    /// Adds pre-aggregated parts without mirroring into any capture
+    /// sink (replay path). A zero-count add is a no-op for the stored
+    /// totals; the histogram itself is registered by the lookup that
+    /// produced `self`.
+    pub(crate) fn add_parts(&self, count: u64, sum: u64, buckets: &[u64; HISTOGRAM_BUCKETS]) {
+        if count == 0 {
+            return;
+        }
+        self.count.fetch_add(count, Ordering::Relaxed);
+        self.sum.fetch_add(sum, Ordering::Relaxed);
+        for (slot, &n) in self.buckets.iter().zip(buckets) {
+            if n != 0 {
+                slot.fetch_add(n, Ordering::Relaxed);
+            }
+        }
     }
 
     /// Total number of samples recorded.
@@ -171,7 +244,14 @@ impl Histogram {
     }
 
     /// Merges a thread-local histogram into this one.
+    ///
+    /// Mirrored into the thread's capture sink even when `local` is
+    /// empty, so a captured delta registers exactly the metric names
+    /// the direct run would.
     pub fn merge(&self, local: &LocalHistogram) {
+        if !self.name.is_empty() {
+            crate::capture::mirror_histogram_parts(self.name, local.count, local.sum, &local.buckets);
+        }
         if local.count == 0 {
             return;
         }

@@ -23,12 +23,15 @@ impl Registry {
     }
 
     /// The counter registered under `name`, creating it on first use.
+    /// Registry counters carry their name so updates can be mirrored
+    /// into an installed [`crate::capture::CaptureSink`].
     pub fn counter(&self, name: &str) -> &'static Counter {
         let mut map = self.counters.lock().expect("counter registry poisoned");
         if let Some(c) = map.get(name) {
             return c;
         }
-        let c: &'static Counter = Box::leak(Box::new(Counter::new()));
+        let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+        let c: &'static Counter = Box::leak(Box::new(Counter::named(leaked)));
         map.insert(name.to_owned(), c);
         c
     }
@@ -39,7 +42,8 @@ impl Registry {
         if let Some(g) = map.get(name) {
             return g;
         }
-        let g: &'static Gauge = Box::leak(Box::new(Gauge::new()));
+        let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+        let g: &'static Gauge = Box::leak(Box::new(Gauge::named(leaked)));
         map.insert(name.to_owned(), g);
         g
     }
@@ -50,7 +54,8 @@ impl Registry {
         if let Some(h) = map.get(name) {
             return h;
         }
-        let h: &'static Histogram = Box::leak(Box::new(Histogram::new()));
+        let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+        let h: &'static Histogram = Box::leak(Box::new(Histogram::named(leaked)));
         map.insert(name.to_owned(), h);
         h
     }
@@ -116,7 +121,7 @@ pub enum MetricValue {
 }
 
 /// A name-sorted snapshot of the registry.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Snapshot {
     /// `(name, value)` pairs sorted by name.
     pub metrics: Vec<(String, MetricValue)>,

@@ -14,6 +14,9 @@
 //! - `pool_utilization` — optional executor accounting: per-worker
 //!   busy time and per-region queue-wait/run aggregates (present when
 //!   the producer supplies a [`PoolUtilization`]).
+//! - `cache` — optional cell-cache accounting: hit/miss/store counts
+//!   and manifest size (present when the producer supplies a
+//!   [`CacheReport`]).
 //! - `spans` — drained trace spans in start-time order (wall-clock, so
 //!   durations vary run to run; counters never do).
 //!
@@ -164,6 +167,61 @@ fn sparse_to_json(buckets: &[(usize, u64)]) -> Json {
     obj
 }
 
+/// Cell-cache accounting for the `cache` stanza: where this run's
+/// cells came from. Produced by `repro` from the `desc-cache` store's
+/// counters (desc-telemetry deliberately does not depend on
+/// desc-cache, mirroring how [`PoolUtilization`] is filled by
+/// `desc-exec`). All values are deterministic for a given store state,
+/// but naturally differ between cold and warm runs — determinism
+/// comparisons filter the stanza (and the matching `cache.*` registry
+/// counters) like `pool.*`.
+#[derive(Debug, Clone, Default)]
+pub struct CacheReport {
+    /// Cache directory backing the store (omitted from JSON when the
+    /// store is memory-only).
+    pub dir: Option<String>,
+    /// Cell-result schema version the store was opened with.
+    pub schema_version: u64,
+    /// Cells served from the in-memory hot map.
+    pub hits_memory: u64,
+    /// Cells served from the on-disk store of record.
+    pub hits_disk: u64,
+    /// Cells computed because no usable entry existed.
+    pub misses: u64,
+    /// Cell results written to the store.
+    pub stores: u64,
+    /// Entries skipped due to a schema-version mismatch (recomputed,
+    /// never served).
+    pub version_mismatches: u64,
+    /// Unreadable/corrupt entries or failed writes (recomputed /
+    /// non-fatal).
+    pub errors: u64,
+    /// Keys recorded in the on-disk manifest after the run.
+    pub manifest_cells: u64,
+    /// True when the run was started with `--resume`.
+    pub resumed: bool,
+}
+
+impl CacheReport {
+    /// Serializes the stanza (see `docs/REPORT_SCHEMA.md`).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut obj = Json::obj();
+        if let Some(dir) = &self.dir {
+            obj = obj.with("dir", Json::Str(dir.clone()));
+        }
+        obj.with("schema_version", Json::UInt(self.schema_version))
+            .with("hits_memory", Json::UInt(self.hits_memory))
+            .with("hits_disk", Json::UInt(self.hits_disk))
+            .with("misses", Json::UInt(self.misses))
+            .with("stores", Json::UInt(self.stores))
+            .with("version_mismatches", Json::UInt(self.version_mismatches))
+            .with("errors", Json::UInt(self.errors))
+            .with("manifest_cells", Json::UInt(self.manifest_cells))
+            .with("resumed", Json::Bool(self.resumed))
+    }
+}
+
 /// A run report ready to serialize.
 #[derive(Debug, Clone)]
 pub struct Report {
@@ -174,6 +232,9 @@ pub struct Report {
     /// Executor utilization accounting, when the producer collected
     /// it (serialized as `pool_utilization`; omitted when `None`).
     pub pool: Option<PoolUtilization>,
+    /// Cell-cache accounting, when the producer ran with a cache
+    /// (serialized as `cache`; omitted when `None`).
+    pub cache: Option<CacheReport>,
     /// Trace spans drained at the end of the run.
     pub spans: Vec<Span>,
 }
@@ -228,6 +289,9 @@ impl Report {
             .with("metrics", metrics);
         if let Some(pool) = &self.pool {
             doc = doc.with("pool_utilization", pool.to_json());
+        }
+        if let Some(cache) = &self.cache {
+            doc = doc.with("cache", cache.to_json());
         }
         doc.with("spans", spans)
     }
@@ -315,6 +379,18 @@ mod tests {
                     run_us_buckets: vec![(4, 2), (5, 1)],
                 }],
             }),
+            cache: Some(CacheReport {
+                dir: Some("/tmp/cache".to_owned()),
+                schema_version: 1,
+                hits_memory: 2,
+                hits_disk: 3,
+                misses: 4,
+                stores: 4,
+                version_mismatches: 0,
+                errors: 0,
+                manifest_cells: 7,
+                resumed: true,
+            }),
             spans: vec![Span {
                 name: "cell",
                 label: "x".to_owned(),
@@ -325,7 +401,7 @@ mod tests {
             }],
         };
         let json = report.to_json();
-        for key in ["schema", "meta", "metrics", "pool_utilization", "spans"] {
+        for key in ["schema", "meta", "metrics", "pool_utilization", "cache", "spans"] {
             assert!(json.get(key).is_some(), "missing top-level key {key}");
         }
         assert_eq!(json.get("schema").and_then(Json::as_str), Some("desc-run-report/v1"));
@@ -343,16 +419,24 @@ mod tests {
             .expect("busy fraction");
         assert!((busy - 0.5).abs() < 1e-9);
         assert_eq!(back.get("meta").and_then(|m| m.get("spans_dropped")).and_then(Json::as_u64), Some(0));
+        let cache = back.get("cache").expect("cache stanza present");
+        assert_eq!(cache.get("hits_disk").and_then(Json::as_u64), Some(3));
+        assert_eq!(cache.get("manifest_cells").and_then(Json::as_u64), Some(7));
+        assert_eq!(cache.get("resumed"), Some(&Json::Bool(true)));
     }
 
     #[test]
-    fn pool_stanza_is_omitted_when_absent() {
+    fn pool_and_cache_stanzas_are_omitted_when_absent() {
         let report = Report {
             meta: ReportMeta::default(),
             snapshot: Registry::new().snapshot(),
             pool: None,
+            cache: None,
             spans: Vec::new(),
         };
         assert!(report.to_json().get("pool_utilization").is_none());
+        assert!(report.to_json().get("cache").is_none());
+        // A memory-only cache stanza omits `dir`.
+        assert!(CacheReport::default().to_json().get("dir").is_none());
     }
 }

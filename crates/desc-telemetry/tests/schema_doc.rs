@@ -4,7 +4,7 @@
 //! this test fails — the schema document cannot drift silently.
 
 use desc_telemetry::{
-    Json, PoolUtilization, RegionUtilization, Registry, Report, ReportMeta, Span,
+    CacheReport, Json, PoolUtilization, RegionUtilization, Registry, Report, ReportMeta, Span,
     WorkerUtilization,
 };
 use std::collections::BTreeSet;
@@ -74,6 +74,12 @@ fn emitted_paths(report: &Json) -> BTreeSet<String> {
                     }
                 }
             }
+            "cache" => {
+                let Json::Obj(cache) = value else { panic!("cache is an object") };
+                for (k, _) in cache {
+                    out.insert(format!("cache.{k}"));
+                }
+            }
             "spans" => {
                 for span in value.as_arr().expect("spans is an array") {
                     let Json::Obj(fields) = span else { panic!("span is an object") };
@@ -133,6 +139,18 @@ fn schema_document_matches_emitted_report() {
                 run_us_max: 200,
                 run_us_buckets: vec![(7, 3), (8, 1)],
             }],
+        }),
+        cache: Some(CacheReport {
+            dir: Some("/tmp/desc-cache".to_owned()),
+            schema_version: 1,
+            hits_memory: 1,
+            hits_disk: 1,
+            misses: 2,
+            stores: 2,
+            version_mismatches: 0,
+            errors: 0,
+            manifest_cells: 4,
+            resumed: false,
         }),
         spans: vec![Span {
             name: "experiment",

@@ -4,7 +4,7 @@
 Compares every row of the latest history entry against the most recent
 earlier entry that measured the same row, and prints a warning for
 every row that slowed down past the threshold. Rows are keyed on
-whatever axes they carry (scheme/mode/micro + jobs/shards/batch), and
+whatever axes they carry (scheme/mode/micro + jobs/shards/batch/cache), and
 the first throughput-like metric present is compared — so new axes
 (e.g. the batched-transfer rows in BENCH_link.json) are learned
 automatically and never warn the first time they appear. Always exits
@@ -31,7 +31,7 @@ def rows(entry):
     out = {}
     for r in entry.get("results", []):
         name = r.get("scheme") or r.get("mode") or r.get("micro")
-        key = (name, r.get("jobs", 1), r.get("shards", 1), r.get("batch", 0))
+        key = (name, r.get("jobs", 1), r.get("shards", 1), r.get("batch", 0), r.get("cache", ""))
         for metric in METRICS:
             if metric in r:
                 out[key] = (metric, r[metric])
@@ -77,10 +77,12 @@ def main():
             continue  # new row (or new axis) — learn it, don't warn
         compared += 1
         ratio = now / before
-        name, jobs, shards, batch = key
+        name, jobs, shards, batch, cache = key
         axes = f"jobs={jobs} shards={shards}"
         if batch:
             axes += f" batch={batch}"
+        if cache:
+            axes += f" cache={cache}"
         line = f"{name} {axes}: {before:.2f} -> {now:.2f} {metric} ({ratio:.2f}x)"
         if ratio < THRESHOLD:
             warned += 1
