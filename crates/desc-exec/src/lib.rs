@@ -70,12 +70,13 @@
 // [`Region`]: the submitting call blocks until `done == total` before
 // its borrows go out of scope.
 
-use std::cell::{Cell, UnsafeCell};
+use std::cell::{Cell, RefCell, UnsafeCell};
 use std::collections::BTreeMap;
 use std::mem::MaybeUninit;
-use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::panic::{catch_unwind, panic_any, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::{Duration, Instant};
 
 use desc_telemetry::Histogram;
 
@@ -184,6 +185,138 @@ impl Drop for InTaskGuard {
     }
 }
 
+/// Panic payload used to unwind out of a cancelled region. Callers
+/// that wrap a cancellable scope in [`std::panic::catch_unwind`] can
+/// downcast the payload to this type to distinguish an intentional
+/// cancellation (a `desc-serve` request deadline) from a genuine bug.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cancelled;
+
+impl std::fmt::Display for Cancelled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("desc-exec region cancelled (deadline or explicit cancel)")
+    }
+}
+
+#[derive(Debug, Default)]
+struct CancelInner {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+/// A shared cancellation handle, installed per thread with
+/// [`install_cancel`] and snapshotted by every region submitted while
+/// it is installed (exactly like the metric [`desc_telemetry::CaptureSink`]).
+/// Once the token is cancelled — explicitly via [`CancelToken::cancel`]
+/// or implicitly by its deadline passing — every subsequent task claim
+/// in a covered region unwinds with a [`Cancelled`] payload, which
+/// rides the executor's existing panic-propagation path: remaining
+/// unclaimed tasks are cancelled and the payload is re-raised on the
+/// submitting caller.
+///
+/// Cancellation is **best-effort and task-granular**: a task that is
+/// already running is never interrupted mid-flight (results stay
+/// deterministic and cache writes stay complete), so the latency of a
+/// cancel is bounded by the longest single task, not the region.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    inner: Arc<CancelInner>,
+}
+
+impl CancelToken {
+    /// A token that only cancels explicitly, never by deadline.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A token that auto-cancels once `timeout` has elapsed from now.
+    #[must_use]
+    pub fn with_deadline(timeout: Duration) -> Self {
+        CancelToken {
+            inner: Arc::new(CancelInner {
+                cancelled: AtomicBool::new(false),
+                deadline: Some(Instant::now() + timeout),
+            }),
+        }
+    }
+
+    /// Requests cancellation. Idempotent; takes effect at the next
+    /// task boundary of every covered region.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// True once [`cancel`](Self::cancel) was called or the deadline
+    /// passed.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        if self.inner.cancelled.load(Ordering::Relaxed) {
+            return true;
+        }
+        match self.inner.deadline {
+            Some(deadline) if Instant::now() >= deadline => {
+                // Latch so later checks skip the clock read.
+                self.inner.cancelled.store(true, Ordering::Relaxed);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Unwinds with [`Cancelled`] if the token is cancelled.
+    pub fn check(&self) {
+        if self.is_cancelled() {
+            panic_any(Cancelled);
+        }
+    }
+}
+
+thread_local! {
+    static CANCEL: RefCell<Option<CancelToken>> = const { RefCell::new(None) };
+}
+
+/// Restores the previously installed [`CancelToken`] (if any) when
+/// dropped.
+#[derive(Debug)]
+pub struct CancelGuard {
+    prev: Option<CancelToken>,
+}
+
+impl Drop for CancelGuard {
+    fn drop(&mut self) {
+        CANCEL.with(|c| *c.borrow_mut() = self.prev.take());
+    }
+}
+
+/// Installs `token` (or clears the installation with `None`) on the
+/// current thread until the returned guard drops. Regions submitted
+/// while a token is installed snapshot it and honour it on every
+/// draining thread, so a deadline covers nested fork-join work no
+/// matter which pool thread runs it.
+#[must_use]
+pub fn install_cancel(token: Option<CancelToken>) -> CancelGuard {
+    CancelGuard { prev: CANCEL.with(|c| c.replace(token)) }
+}
+
+/// The cancel token installed on the current thread, if any.
+#[must_use]
+pub fn current_cancel() -> Option<CancelToken> {
+    CANCEL.with(|c| c.borrow().clone())
+}
+
+/// Unwinds with [`Cancelled`] if the current thread's installed token
+/// (if any) is cancelled. Cheap enough to call between coarse work
+/// items (one thread-local borrow; a clock read only while a deadline
+/// token is installed and not yet latched).
+pub fn check_cancelled() {
+    CANCEL.with(|c| {
+        if let Some(token) = c.borrow().as_ref() {
+            token.check();
+        }
+    });
+}
+
 /// One fork-join scope: `total` indexed tasks behind a type-erased
 /// entry point.
 ///
@@ -216,6 +349,12 @@ struct Region {
     /// paths run on the submitting thread itself, where the sink is
     /// already installed.
     sink: Option<Arc<desc_telemetry::CaptureSink>>,
+    /// Cancel token installed on the submitting thread, if any (see
+    /// [`install_cancel`]); snapshotted at submit time like `sink` and
+    /// re-installed on every draining thread, so nested regions
+    /// submitted from pool workers inherit the same deadline. Checked
+    /// once per task claim.
+    cancel: Option<CancelToken>,
     /// Next unclaimed task index; CAS-claimed so it never exceeds
     /// `total` (which keeps the cancellation arithmetic on the panic
     /// path exact).
@@ -259,6 +398,7 @@ impl Region {
             submitted_us,
             agg,
             sink: desc_telemetry::capture_sink(),
+            cancel: current_cancel(),
             next: AtomicUsize::new(0),
             // The submitting caller counts as already active.
             active: AtomicUsize::new(1),
@@ -323,6 +463,10 @@ impl Region {
             .sink
             .as_ref()
             .map(|s| desc_telemetry::install_capture(Some(Arc::clone(s))));
+        // Likewise mirror the submitter's cancel token so tasks (and
+        // regions they nest) observe the same deadline on every
+        // draining thread.
+        let _cancel = self.cancel.as_ref().map(|t| install_cancel(Some(t.clone())));
         let mut ran = 0u64;
         while let Some(i) = self.claim() {
             ran += 1;
@@ -330,6 +474,14 @@ impl Region {
             // SAFETY: `i` was claimed exactly once and `ctx` is alive
             // (struct invariant).
             let outcome = catch_unwind(AssertUnwindSafe(|| {
+                // Cancellation is task-granular: a claimed task either
+                // runs to completion or never starts. The panic rides
+                // the existing cancel-remaining accounting below.
+                if let Some(token) = &self.cancel {
+                    if token.is_cancelled() {
+                        panic_any(Cancelled);
+                    }
+                }
                 let _in_task = InTaskGuard { was: IN_TASK.with(|f| f.replace(true)) };
                 unsafe { (self.task)(self.ctx, i) }
             }));
@@ -660,11 +812,20 @@ where
         pool.inline.fetch_add(total as u64, Ordering::Relaxed);
         pool.executed.fetch_add(total as u64, Ordering::Relaxed);
         let _in_task = InTaskGuard { was: IN_TASK.with(|fl| fl.replace(true)) };
+        let cancel = current_cancel();
+        let check = |i: usize| {
+            if let Some(token) = &cancel {
+                if token.is_cancelled() {
+                    panic_any(Cancelled);
+                }
+            }
+            i
+        };
         if desc_telemetry::enabled() {
             let timer = TaskTimer::new(label);
-            return (0..total).map(|i| timer.time(|| f(i))).collect();
+            return (0..total).map(|i| timer.time(|| f(check(i)))).collect();
         }
-        return (0..total).map(f).collect();
+        return (0..total).map(|i| f(check(i))).collect();
     }
 
     unsafe fn fill_slot<T, F>(ctx: *const (), i: usize)
@@ -756,13 +917,23 @@ where
         pool.inline.fetch_add(total as u64, Ordering::Relaxed);
         pool.executed.fetch_add(total as u64, Ordering::Relaxed);
         let _in_task = InTaskGuard { was: IN_TASK.with(|fl| fl.replace(true)) };
+        let cancel = current_cancel();
+        let check = || {
+            if let Some(token) = &cancel {
+                if token.is_cancelled() {
+                    panic_any(Cancelled);
+                }
+            }
+        };
         if desc_telemetry::enabled() {
             let timer = TaskTimer::new(label);
             for (i, s) in states.iter_mut().enumerate() {
+                check();
                 timer.time(|| f(i, s));
             }
         } else {
             for (i, s) in states.iter_mut().enumerate() {
+                check();
                 f(i, s);
             }
         }
@@ -975,5 +1146,91 @@ mod tests {
         let worked: u64 = util.workers.iter().map(|w| w.tasks).sum();
         assert!(busy >= region.run_us_sum, "worker busy time covers the region");
         assert!(worked >= 8);
+    }
+
+    /// Unwraps a caught panic payload as a [`Cancelled`] marker.
+    fn assert_cancelled(payload: Box<dyn std::any::Any + Send>) {
+        assert!(
+            payload.downcast_ref::<Cancelled>().is_some(),
+            "expected a Cancelled payload, got something else"
+        );
+    }
+
+    #[test]
+    fn expired_deadline_cancels_a_pooled_region() {
+        configure(2);
+        let token = CancelToken::with_deadline(Duration::from_millis(0));
+        std::thread::sleep(Duration::from_millis(1));
+        let guard = install_cancel(Some(token));
+        let ran = Arc::new(AtomicUsize::new(0));
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let ran = Arc::clone(&ran);
+            run(64, 2, move |_| {
+                ran.fetch_add(1, Ordering::Relaxed);
+            })
+        }));
+        drop(guard);
+        assert_cancelled(result.expect_err("expired deadline must unwind"));
+        assert_eq!(
+            ran.load(Ordering::Relaxed),
+            0,
+            "no task may start after the deadline passed"
+        );
+        // The pool must stay healthy for subsequent regions.
+        let values = run(8, 2, |i| i * 2);
+        assert_eq!(values, (0..8).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn explicit_cancel_stops_remaining_tasks_midway() {
+        configure(2);
+        let token = CancelToken::new();
+        let _guard = install_cancel(Some(token.clone()));
+        let ran = Arc::new(AtomicUsize::new(0));
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let ran = Arc::clone(&ran);
+            let token = token.clone();
+            run(256, 2, move |i| {
+                if i == 0 {
+                    token.cancel();
+                }
+                ran.fetch_add(1, Ordering::Relaxed);
+            })
+        }));
+        assert_cancelled(result.expect_err("cancelled region must unwind"));
+        let done = ran.load(Ordering::Relaxed);
+        assert!(done < 256, "cancellation must skip some of the 256 tasks (ran {done})");
+    }
+
+    #[test]
+    fn inline_path_honours_the_installed_token() {
+        // cap == 1 forces the inline fast path regardless of workers.
+        let token = CancelToken::new();
+        token.cancel();
+        let _guard = install_cancel(Some(token));
+        let result = catch_unwind(AssertUnwindSafe(|| run(4, 1, |i| i)));
+        assert_cancelled(result.expect_err("inline run must observe the token"));
+
+        let mut states = [0u64; 4];
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            run_mut(&mut states, 1, |_, s| *s += 1);
+        }));
+        assert_cancelled(result.expect_err("inline run_mut must observe the token"));
+    }
+
+    #[test]
+    fn uncancelled_token_is_transparent_and_guard_restores() {
+        let outer = CancelToken::new();
+        let _outer_guard = install_cancel(Some(outer.clone()));
+        {
+            let inner = CancelToken::new();
+            let _inner_guard = install_cancel(Some(inner));
+            let values = run(8, 1, |i| i + 1);
+            assert_eq!(values.len(), 8);
+        }
+        // Inner guard dropped: the outer token is installed again.
+        let current = current_cancel().expect("outer token restored");
+        outer.cancel();
+        assert!(current.is_cancelled(), "restored handle shares the outer state");
     }
 }

@@ -328,6 +328,7 @@ fn main() -> ExitCode {
                     resumed: resume,
                 }
             }),
+            serve: None,
             spans,
         };
         if let Err(e) = report.write_to(path) {

@@ -187,12 +187,23 @@ pub fn run_custom_keyed(
         static_overhead,
     );
     let want_delta = desc_telemetry::enabled();
+    // The sink installed *around* this cell, if any (e.g. a
+    // `desc-serve` request sink). The per-cell capture below replaces
+    // it for the cell's duration (innermost wins), and `replay` only
+    // touches the global registry — so the cell's delta is absorbed
+    // into the outer sink explicitly, on warm hits and cold computes
+    // alike. That keeps a request-scoped snapshot identical to what
+    // the registry accumulates for the same cells.
+    let outer = desc_telemetry::capture_sink();
     if let Some(entry) = store.lookup(&key, want_delta) {
         match crate::cache::decode_app_run(&entry.payload) {
             Ok(run) => {
                 if want_delta {
                     if let Some(delta) = &entry.delta {
                         desc_telemetry::replay(delta);
+                        if let Some(outer) = &outer {
+                            outer.absorb(delta);
+                        }
                     }
                 }
                 return run;
@@ -211,6 +222,9 @@ pub fn run_custom_keyed(
     } else {
         (run_custom(scheme, config, profile, scale, static_overhead), None)
     };
+    if let (Some(outer), Some(delta)) = (&outer, delta.as_ref()) {
+        outer.absorb(delta);
+    }
     store.store(&key, crate::cache::encode_app_run(&run), delta);
     run
 }
@@ -258,12 +272,19 @@ pub fn run_snuca(
         scale.accesses,
     );
     let want_delta = desc_telemetry::enabled();
+    // See `run_custom_keyed`: absorb the cell's delta into the sink
+    // installed around this cell so request-scoped captures match the
+    // global registry.
+    let outer = desc_telemetry::capture_sink();
     if let Some(entry) = store.lookup(&key, want_delta) {
         match crate::cache::decode_snuca(&entry.payload) {
             Ok(result) => {
                 if want_delta {
                     if let Some(delta) = &entry.delta {
                         desc_telemetry::replay(delta);
+                        if let Some(outer) = &outer {
+                            outer.absorb(delta);
+                        }
                     }
                 }
                 return result;
@@ -278,6 +299,9 @@ pub fn run_snuca(
     } else {
         (compute(scheme), None)
     };
+    if let (Some(outer), Some(delta)) = (&outer, delta.as_ref()) {
+        outer.absorb(delta);
+    }
     store.store(&key, crate::cache::encode_snuca(&result), delta);
     result
 }

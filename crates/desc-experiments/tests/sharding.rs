@@ -32,6 +32,7 @@ fn report_for(experiments: &[&str], shards: usize, scale: &Scale) -> (Vec<String
         snapshot: desc_telemetry::global().snapshot(),
         pool: None,
         cache: None,
+        serve: None,
         spans: Vec::new(),
     };
     // Metrics only: `meta` records the shard count itself (and a

@@ -23,10 +23,10 @@
 //!   which pool thread runs it.
 //! - **Zero cost when idle.** Every mirror hook first checks a
 //!   process-wide count of installed sinks with one relaxed load.
-//! - **Scoped-out names.** Updates to `pool.*` and `cache.*` metrics
-//!   describe *where and how* work ran, not *what* the cell computed;
-//!   they are never captured (and are likewise filtered out of
-//!   determinism comparisons).
+//! - **Scoped-out names.** Updates to `pool.*`, `cache.*`, and
+//!   `serve.*` metrics describe *where and how* work ran, not *what*
+//!   the cell computed; they are never captured (and are likewise
+//!   filtered out of determinism comparisons).
 //! - **Registration parity.** Mirror hooks fire even for zero-valued
 //!   updates, so replaying a delta registers exactly the metric names
 //!   the direct computation would have registered.
@@ -52,11 +52,12 @@ thread_local! {
 }
 
 /// True when updates to `name` are mirrored into capture sinks.
-/// `pool.*` (executor shape) and `cache.*` (cache bookkeeping) are
-/// excluded — they describe the run, not the cell result.
+/// `pool.*` (executor shape), `cache.*` (cache bookkeeping), and
+/// `serve.*` (service admission bookkeeping) are excluded — they
+/// describe the run, not the cell result.
 #[inline]
 fn captured(name: &str) -> bool {
-    !name.starts_with("pool.") && !name.starts_with("cache.")
+    !name.starts_with("pool.") && !name.starts_with("cache.") && !name.starts_with("serve.")
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -124,6 +125,26 @@ impl CaptureSink {
     pub fn is_empty(&self) -> bool {
         let inner = self.inner.lock().expect("capture sink poisoned");
         inner.counters.is_empty() && inner.gauges.is_empty() && inner.histograms.is_empty()
+    }
+
+    /// Merges a captured delta into this sink *without* touching the
+    /// global registry: counters and histogram parts add, gauges raise
+    /// (`record_max`), mirroring [`replay`]'s semantics. This is how a
+    /// scope that wraps cached work (e.g. one `desc-serve` request)
+    /// keeps a complete delta even though nested per-cell sinks shadow
+    /// it: the cell path absorbs each cell's delta — freshly captured
+    /// on a cold compute, loaded from the store on a warm hit —
+    /// into the sink that was installed before the cell's own.
+    pub fn absorb(&self, delta: &Snapshot) {
+        for (name, value) in &delta.metrics {
+            match value {
+                MetricValue::Counter(n) => self.add_counter(name, *n),
+                MetricValue::Gauge(v) => self.gauge_max(name, *v),
+                MetricValue::Histogram { count, sum, buckets } => {
+                    self.hist_parts(name, &HistCap { count: *count, sum: *sum, buckets: **buckets });
+                }
+            }
+        }
     }
 
     fn add_counter(&self, name: &str, n: u64) {
@@ -321,18 +342,70 @@ mod tests {
     }
 
     #[test]
-    fn pool_and_cache_names_are_not_captured() {
+    fn pool_cache_and_serve_names_are_not_captured() {
         let reg = crate::global();
         let sink = CaptureSink::new();
         with_capture(&sink, || {
             reg.counter("pool.test.tasks").add(3);
             reg.counter("cache.test.hits").add(2);
+            reg.counter("serve.test.accepted").add(4);
             reg.counter("capture.test.kept").add(1);
         });
         let delta = sink.snapshot();
         assert_eq!(delta.counter("pool.test.tasks"), None);
         assert_eq!(delta.counter("cache.test.hits"), None);
+        assert_eq!(delta.counter("serve.test.accepted"), None);
         assert_eq!(delta.counter("capture.test.kept"), Some(1));
+    }
+
+    #[test]
+    fn absorb_merges_like_replay_without_touching_the_registry() {
+        let reg = crate::global();
+        let cell = CaptureSink::new();
+        with_capture(&cell, || {
+            reg.counter("capture.test.absorbed").add(4);
+            reg.gauge("capture.test.absorbed_max").record_max(11);
+            reg.histogram("capture.test.absorbed_hist").record(7);
+        });
+        let delta = cell.snapshot();
+        let global_before = reg.counter("capture.test.absorbed").get();
+
+        let outer = CaptureSink::new();
+        outer.absorb(&delta);
+        outer.absorb(&delta);
+        let merged = outer.snapshot();
+        // Counters and histograms add across absorbs; gauges stay max.
+        assert_eq!(merged.counter("capture.test.absorbed"), Some(8));
+        assert_eq!(merged.gauge("capture.test.absorbed_max"), Some(11));
+        assert_eq!(merged.histogram("capture.test.absorbed_hist"), Some((2, 14)));
+        // The global registry never saw the absorbs.
+        assert_eq!(reg.counter("capture.test.absorbed").get(), global_before);
+    }
+
+    /// The contract a request-scoped sink relies on: with a store in
+    /// the middle, "absorb the inner delta into the outer sink" makes
+    /// the outer sink identical to capturing the work directly.
+    #[test]
+    fn outer_sink_plus_absorb_equals_direct_capture() {
+        let reg = crate::global();
+        let direct = CaptureSink::new();
+        with_capture(&direct, || {
+            reg.counter("capture.test.composed").add(5);
+            reg.histogram("capture.test.composed_hist").record(3);
+        });
+
+        let outer = CaptureSink::new();
+        with_capture(&outer, || {
+            let cell = CaptureSink::new();
+            with_capture(&cell, || {
+                reg.counter("capture.test.composed").add(5);
+                reg.histogram("capture.test.composed_hist").record(3);
+            });
+            if let Some(current) = capture_sink() {
+                current.absorb(&cell.snapshot());
+            }
+        });
+        assert_eq!(outer.snapshot(), direct.snapshot());
     }
 
     #[test]

@@ -55,7 +55,10 @@ pub use chrome::{chrome_trace, write_chrome_trace};
 pub use json::Json;
 pub use metrics::{Counter, Gauge, Histogram, LocalHistogram, HISTOGRAM_BUCKETS};
 pub use registry::{MetricValue, Registry, Snapshot};
-pub use report::{CacheReport, PoolUtilization, RegionUtilization, Report, ReportMeta, WorkerUtilization};
+pub use report::{
+    CacheReport, PoolUtilization, RegionUtilization, Report, ReportMeta, ServeReport,
+    WorkerUtilization,
+};
 pub use trace::{
     current_worker, drain_spans, now_us, set_context, span, spans_dropped, worker_names, Span,
     SpanGuard,

@@ -17,6 +17,9 @@
 //! - `cache` — optional cell-cache accounting: hit/miss/store counts
 //!   and manifest size (present when the producer supplies a
 //!   [`CacheReport`]).
+//! - `serve` — optional sweep-service accounting: accepted/rejected/
+//!   timed-out/active request counts (present when the producer is a
+//!   `desc-serve` process supplying a [`ServeReport`]).
 //! - `spans` — drained trace spans in start-time order (wall-clock, so
 //!   durations vary run to run; counters never do).
 //!
@@ -222,6 +225,63 @@ impl CacheReport {
     }
 }
 
+/// Sweep-service accounting for the `serve` stanza: what the
+/// `desc-serve` frontend accepted, rejected, and finished. Filled by
+/// `desc-serve` from its admission-gate counters (desc-telemetry
+/// deliberately does not depend on desc-serve, mirroring how
+/// [`PoolUtilization`] and [`CacheReport`] are filled by their
+/// producers). Values are process-cumulative and scheduling-dependent,
+/// so determinism comparisons filter the stanza (and the matching
+/// `serve.*` registry counters) like `pool.*` / `cache.*`.
+#[derive(Debug, Clone, Default)]
+pub struct ServeReport {
+    /// Address the service is listening on, e.g. `"127.0.0.1:7013"`.
+    pub addr: String,
+    /// Maximum `run` requests executing concurrently (admission cap).
+    pub workers: u64,
+    /// Maximum `run` requests allowed to wait for a free worker.
+    pub queue_capacity: u64,
+    /// Connections accepted over the process lifetime.
+    pub connections: u64,
+    /// `run` requests admitted past the gate.
+    pub accepted: u64,
+    /// `run` requests that finished with an `ok` response.
+    pub completed: u64,
+    /// `run` requests rejected with `busy` (gate full).
+    pub rejected_busy: u64,
+    /// Frames or payloads rejected as malformed/oversized/invalid.
+    pub rejected_malformed: u64,
+    /// Requests that hit their deadline (queued or mid-run).
+    pub timed_out: u64,
+    /// Requests that failed with an `internal` error.
+    pub failed: u64,
+    /// `run` requests executing right now.
+    pub active: u64,
+    /// True once graceful shutdown has begun (drain in progress).
+    pub draining: bool,
+}
+
+impl ServeReport {
+    /// Serializes the stanza (see `docs/REPORT_SCHEMA.md` and
+    /// `docs/SERVICE.md`).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .with("addr", Json::Str(self.addr.clone()))
+            .with("workers", Json::UInt(self.workers))
+            .with("queue_capacity", Json::UInt(self.queue_capacity))
+            .with("connections", Json::UInt(self.connections))
+            .with("accepted", Json::UInt(self.accepted))
+            .with("completed", Json::UInt(self.completed))
+            .with("rejected_busy", Json::UInt(self.rejected_busy))
+            .with("rejected_malformed", Json::UInt(self.rejected_malformed))
+            .with("timed_out", Json::UInt(self.timed_out))
+            .with("failed", Json::UInt(self.failed))
+            .with("active", Json::UInt(self.active))
+            .with("draining", Json::Bool(self.draining))
+    }
+}
+
 /// A run report ready to serialize.
 #[derive(Debug, Clone)]
 pub struct Report {
@@ -235,6 +295,9 @@ pub struct Report {
     /// Cell-cache accounting, when the producer ran with a cache
     /// (serialized as `cache`; omitted when `None`).
     pub cache: Option<CacheReport>,
+    /// Sweep-service accounting, when the producer is a `desc-serve`
+    /// process (serialized as `serve`; omitted when `None`).
+    pub serve: Option<ServeReport>,
     /// Trace spans drained at the end of the run.
     pub spans: Vec<Span>,
 }
@@ -292,6 +355,9 @@ impl Report {
         }
         if let Some(cache) = &self.cache {
             doc = doc.with("cache", cache.to_json());
+        }
+        if let Some(serve) = &self.serve {
+            doc = doc.with("serve", serve.to_json());
         }
         doc.with("spans", spans)
     }
@@ -391,6 +457,20 @@ mod tests {
                 manifest_cells: 7,
                 resumed: true,
             }),
+            serve: Some(ServeReport {
+                addr: "127.0.0.1:7013".to_owned(),
+                workers: 2,
+                queue_capacity: 8,
+                connections: 5,
+                accepted: 4,
+                completed: 4,
+                rejected_busy: 1,
+                rejected_malformed: 0,
+                timed_out: 0,
+                failed: 0,
+                active: 0,
+                draining: false,
+            }),
             spans: vec![Span {
                 name: "cell",
                 label: "x".to_owned(),
@@ -401,7 +481,7 @@ mod tests {
             }],
         };
         let json = report.to_json();
-        for key in ["schema", "meta", "metrics", "pool_utilization", "cache", "spans"] {
+        for key in ["schema", "meta", "metrics", "pool_utilization", "cache", "serve", "spans"] {
             assert!(json.get(key).is_some(), "missing top-level key {key}");
         }
         assert_eq!(json.get("schema").and_then(Json::as_str), Some("desc-run-report/v1"));
@@ -423,19 +503,25 @@ mod tests {
         assert_eq!(cache.get("hits_disk").and_then(Json::as_u64), Some(3));
         assert_eq!(cache.get("manifest_cells").and_then(Json::as_u64), Some(7));
         assert_eq!(cache.get("resumed"), Some(&Json::Bool(true)));
+        let serve = back.get("serve").expect("serve stanza present");
+        assert_eq!(serve.get("accepted").and_then(Json::as_u64), Some(4));
+        assert_eq!(serve.get("rejected_busy").and_then(Json::as_u64), Some(1));
+        assert_eq!(serve.get("draining"), Some(&Json::Bool(false)));
     }
 
     #[test]
-    fn pool_and_cache_stanzas_are_omitted_when_absent() {
+    fn optional_stanzas_are_omitted_when_absent() {
         let report = Report {
             meta: ReportMeta::default(),
             snapshot: Registry::new().snapshot(),
             pool: None,
             cache: None,
+            serve: None,
             spans: Vec::new(),
         };
         assert!(report.to_json().get("pool_utilization").is_none());
         assert!(report.to_json().get("cache").is_none());
+        assert!(report.to_json().get("serve").is_none());
         // A memory-only cache stanza omits `dir`.
         assert!(CacheReport::default().to_json().get("dir").is_none());
     }

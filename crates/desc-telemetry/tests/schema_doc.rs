@@ -4,8 +4,8 @@
 //! this test fails — the schema document cannot drift silently.
 
 use desc_telemetry::{
-    CacheReport, Json, PoolUtilization, RegionUtilization, Registry, Report, ReportMeta, Span,
-    WorkerUtilization,
+    CacheReport, Json, PoolUtilization, RegionUtilization, Registry, Report, ReportMeta,
+    ServeReport, Span, WorkerUtilization,
 };
 use std::collections::BTreeSet;
 
@@ -80,6 +80,12 @@ fn emitted_paths(report: &Json) -> BTreeSet<String> {
                     out.insert(format!("cache.{k}"));
                 }
             }
+            "serve" => {
+                let Json::Obj(serve) = value else { panic!("serve is an object") };
+                for (k, _) in serve {
+                    out.insert(format!("serve.{k}"));
+                }
+            }
             "spans" => {
                 for span in value.as_arr().expect("spans is an array") {
                     let Json::Obj(fields) = span else { panic!("span is an object") };
@@ -151,6 +157,20 @@ fn schema_document_matches_emitted_report() {
             errors: 0,
             manifest_cells: 4,
             resumed: false,
+        }),
+        serve: Some(ServeReport {
+            addr: "127.0.0.1:7013".to_owned(),
+            workers: 2,
+            queue_capacity: 8,
+            connections: 5,
+            accepted: 4,
+            completed: 4,
+            rejected_busy: 1,
+            rejected_malformed: 0,
+            timed_out: 0,
+            failed: 0,
+            active: 0,
+            draining: false,
         }),
         spans: vec![Span {
             name: "experiment",
