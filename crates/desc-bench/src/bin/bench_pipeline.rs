@@ -20,7 +20,12 @@
 //! A final `cached_sweep` pair times the same multi-app sweep through
 //! the `desc-cache` cell store cold (fresh store, all misses) and warm
 //! (populated store, all hits) on a new `cache` axis, with the
-//! observed hit/miss counters recorded alongside the rates.
+//! observed hit/miss counters recorded alongside the rates. A
+//! `contended_sweep` pair on the `contention` axis then runs duplicate
+//! concurrent demanders of one cold sweep with single-flight dedup on
+//! (`single_flight`) and off (`duplicate`), recording the store/lead
+//! counters that prove each cell was computed once vs once per
+//! demander.
 //!
 //! `--jobs N` sizes the process-wide `desc_exec` pool (a pool never
 //! shrinks, so sweeping jobs takes one process per value — see
@@ -226,8 +231,69 @@ fn main() {
             stores: after.stores - before.stores,
             version_mismatches: after.version_mismatches - before.version_mismatches,
             errors: after.errors - before.errors,
+            evictions: after.evictions - before.evictions,
+            inflight_leads: after.inflight_leads - before.inflight_leads,
+            inflight_waits: after.inflight_waits - before.inflight_waits,
+            inflight_hits: after.inflight_hits - before.inflight_hits,
+            inflight_handoffs: after.inflight_handoffs - before.inflight_handoffs,
         };
         record_cached(&mut harness, "warm", warm_rate * cells, delta);
+    }
+
+    // Contention axis: CLIENTS threads demand the *same* cold sweep
+    // concurrently, with and without single-flight dedup. With it, one
+    // demander leads each cell and the rest share the published entry
+    // (stores == distinct cells); without, every demander computes
+    // every cell (stores == distinct cells × CLIENTS). Rows record
+    // demanded-cells-served per second plus the store/lead/share
+    // counters so the history can verify the dedup actually happened.
+    {
+        const CLIENTS: usize = 4;
+        let scale = Scale { accesses: ACCESSES, apps: 2, seed: 2013, jobs, shards: 1 };
+        let suite = scale.suite();
+        let kinds = [SchemeKind::ConventionalBinary, SchemeKind::ZeroSkippedDesc];
+        let demanded = (suite.len() * kinds.len() * CLIENTS) as f64;
+        let sweep = |scale: &Scale| {
+            for kind in kinds {
+                for p in &suite {
+                    black_box(run_app(kind, p, scale).l2_energy());
+                }
+            }
+        };
+        for (mode, single_flight) in [("single_flight", true), ("duplicate", false)] {
+            let store = Arc::new(CacheStore::in_memory(CELL_SCHEMA_VERSION));
+            store.set_single_flight(single_flight);
+            desc_experiments::cache::install(Some(Arc::clone(&store)));
+            let started = std::time::Instant::now();
+            std::thread::scope(|s| {
+                for _ in 0..CLIENTS {
+                    s.spawn(|| sweep(&scale));
+                }
+            });
+            let secs = started.elapsed().as_secs_f64();
+            desc_experiments::cache::install(None);
+            let stats = store.stats();
+            let cells_per_sec = demanded / secs;
+            let accesses_per_sec = cells_per_sec * ACCESSES as f64;
+            let label = format!("contended_sweep[{mode}]");
+            println!(
+                "{label:<24} {jobs:>5} {:>7} {cells_per_sec:>14.2} {accesses_per_sec:>18.0}",
+                1
+            );
+            harness.push(
+                Json::obj()
+                    .with("scheme", Json::Str("contended_sweep".to_owned()))
+                    .with("contention", Json::Str(mode.to_owned()))
+                    .with("clients", Json::UInt(CLIENTS as u64))
+                    .with("jobs", Json::UInt(jobs as u64))
+                    .with("shards", Json::UInt(1))
+                    .with("cells_per_sec", Json::Num((cells_per_sec * 100.0).round() / 100.0))
+                    .with("accesses_per_sec", Json::Num(accesses_per_sec.round()))
+                    .with("cache_stores", Json::UInt(stats.stores))
+                    .with("inflight_leads", Json::UInt(stats.inflight_leads))
+                    .with("inflight_hits", Json::UInt(stats.inflight_hits)),
+            );
+        }
     }
 
     if let Some(path) = &args.trace_path {

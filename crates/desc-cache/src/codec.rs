@@ -239,6 +239,32 @@ pub struct Entry {
     pub delta: Option<Snapshot>,
 }
 
+impl Entry {
+    /// Approximate resident size of this entry in bytes, used by the
+    /// store's hot-tier byte budget. Deliberately an estimate (heap
+    /// payload + a fixed-cost model of the delta snapshot + container
+    /// overhead): the budget bounds memory *order*, it is not an
+    /// allocator audit.
+    #[must_use]
+    pub fn approx_bytes(&self) -> u64 {
+        let payload = self.payload.len() as u64;
+        let delta = self.delta.as_ref().map_or(0, |snapshot| {
+            snapshot
+                .metrics
+                .iter()
+                .map(|(name, value)| {
+                    let value_bytes = match value {
+                        MetricValue::Counter(_) | MetricValue::Gauge(_) => 8,
+                        MetricValue::Histogram { .. } => 16 + 8 * HISTOGRAM_BUCKETS as u64,
+                    };
+                    name.len() as u64 + 48 + value_bytes
+                })
+                .sum()
+        });
+        payload + delta + 96
+    }
+}
+
 /// Decodes and fully validates one store entry addressed by `key`.
 ///
 /// # Errors

@@ -15,10 +15,12 @@
 //!   [`Decoder`]) and the versioned, checksummed on-disk entry format.
 //!   Floats travel as exact bit patterns, so a warm hit reproduces the
 //!   cold result *bitwise*.
-//! - [`store`] — the two-tier [`CacheStore`]: in-memory hot map in
-//!   front of an on-disk store of record (one atomic-written object
-//!   file per cell), with hit/miss/store counters surfaced as
-//!   `cache.*` metrics.
+//! - [`store`] — the two-tier [`CacheStore`]: a bounded LRU hot tier
+//!   (`DESC_CACHE_MEM_BYTES`) in front of an on-disk store of record
+//!   (one atomic-written object file per cell), with hit/miss/store/
+//!   eviction counters surfaced as `cache.*` metrics and a
+//!   single-flight registry ([`CacheStore::begin_flight`]) so
+//!   concurrent callers compute each cold cell exactly once.
 //! - [`manifest`] — the advisory append-only completion log behind
 //!   `repro --resume`, rewritten atomically per append and tolerant
 //!   of damage.
@@ -59,4 +61,4 @@ pub use codec::{
 };
 pub use hash::{CellKey, KeyHasher, SipHasher24};
 pub use manifest::{write_atomic, Manifest};
-pub use store::{CacheStats, CacheStore};
+pub use store::{CacheStats, CacheStore, FlightLease, FlightOutcome, DEFAULT_MEM_BYTES};

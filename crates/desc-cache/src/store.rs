@@ -1,10 +1,15 @@
-//! The two-tier cell-result store: an in-memory hot map in front of
-//! an on-disk, content-addressed store of record.
+//! The two-tier cell-result store: a bounded in-memory hot tier in
+//! front of an on-disk, content-addressed store of record, with a
+//! single-flight registry so concurrent callers compute each cold
+//! cell exactly once.
 //!
-//! - **Hot tier**: `HashMap<CellKey, Arc<Entry>>` under one mutex.
-//!   Every disk hit and every store populates it, so overlapping
-//!   figures in one process (fig16/fig22/fig25 sweep the same grid)
-//!   pay the disk once per cell.
+//! - **Hot tier**: an LRU map under one mutex, bounded by a byte
+//!   budget (`DESC_CACHE_MEM_BYTES`, default 256 MiB). Every disk hit
+//!   and every store populates it, so overlapping figures in one
+//!   process (fig16/fig22/fig25 sweep the same grid) pay the disk
+//!   once per cell; a long-lived server evicts least-recently-used
+//!   entries instead of growing without bound. Evictions never touch
+//!   the store of record — an evicted cell re-reads from disk.
 //! - **Store of record**: one file per cell at
 //!   `<dir>/objects/<first 2 hex>/<32 hex>.cell`, written atomically
 //!   (temp + rename) in the versioned, checksummed entry format of
@@ -13,6 +18,12 @@
 //!   any object just makes that cell recompute.
 //! - **Manifest**: an advisory append-only completion log (see
 //!   [`crate::manifest`]) driving `--resume` reporting.
+//! - **Single flight**: [`CacheStore::begin_flight`] registers a cold
+//!   cell as in flight; the first caller leads and computes while
+//!   later callers wait on the leader's slot and receive the
+//!   identical published [`Arc<Entry>`] ([`FlightOutcome::Shared`]).
+//!   A leader that unwinds (panic or cancellation) hands leadership
+//!   to a waiting follower instead of wedging the key.
 //!
 //! Every outcome is counted ([`CacheStats`]) and mirrored into
 //! `cache.*` registry counters while telemetry is enabled, which is
@@ -24,16 +35,30 @@
 //! A lookup never returns a wrong or stale result class: entries are
 //! validated (checksum, version, key echo) at decode time, and a
 //! version-mismatched or corrupt entry is counted and treated as a
-//! miss — the cell recomputes and the entry is overwritten.
+//! miss — the cell recomputes and the entry is overwritten. A flight
+//! slot only ever resolves to a fully published entry (or to nothing,
+//! on handoff): followers can never observe a partial result.
 
 use crate::codec::{decode_entry, encode_entry, CodecError, Entry};
 use crate::hash::CellKey;
 use crate::manifest::{write_atomic, Manifest};
 use desc_telemetry::Snapshot;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Hot-tier byte budget when `DESC_CACHE_MEM_BYTES` is unset:
+/// generous (cells are a few KiB, so this holds the entire paper grid
+/// many times over) but bounded, so a long-lived server cannot grow
+/// past it.
+pub const DEFAULT_MEM_BYTES: u64 = 256 * 1024 * 1024;
+
+/// How long a single-flight follower sleeps between checks of the
+/// leader's slot (and calls to its cancellation poll). Bounded so a
+/// follower with a deadline never oversleeps it by much.
+const FLIGHT_WAIT_TICK: Duration = Duration::from_millis(10);
 
 /// Point-in-time store counters (also mirrored as `cache.*` registry
 /// counters while telemetry is enabled).
@@ -52,6 +77,20 @@ pub struct CacheStats {
     pub version_mismatches: u64,
     /// Corrupt/unreadable entries and failed writes (all non-fatal).
     pub errors: u64,
+    /// Hot-tier entries evicted to stay under the byte budget.
+    pub evictions: u64,
+    /// Flights led: cold cells this store handed to a caller to
+    /// compute (exactly one per concurrently demanded cold cell).
+    pub inflight_leads: u64,
+    /// Callers that found their cell already in flight and waited on
+    /// the leader's slot instead of computing.
+    pub inflight_waits: u64,
+    /// Waits that ended with the leader's published entry (the dedup
+    /// win: each is a cell compute that did not happen).
+    pub inflight_hits: u64,
+    /// Leadership handoffs: a leader unwound without publishing and a
+    /// waiting follower took over (or re-queued behind a new leader).
+    pub inflight_handoffs: u64,
 }
 
 impl CacheStats {
@@ -70,6 +109,189 @@ struct StatCells {
     stores: AtomicU64,
     version_mismatches: AtomicU64,
     errors: AtomicU64,
+    evictions: AtomicU64,
+    inflight_leads: AtomicU64,
+    inflight_waits: AtomicU64,
+    inflight_hits: AtomicU64,
+    inflight_handoffs: AtomicU64,
+}
+
+/// The bounded LRU hot tier. Recency is a monotonic clock stamp per
+/// slot plus a `stamp -> key` index, so touch/evict are `O(log n)`
+/// without unsafe pointer links (this crate forbids unsafe code).
+#[derive(Debug)]
+struct HotTier {
+    map: HashMap<CellKey, HotSlot>,
+    order: BTreeMap<u64, CellKey>,
+    clock: u64,
+    bytes: u64,
+    budget: u64,
+}
+
+#[derive(Debug)]
+struct HotSlot {
+    entry: Arc<Entry>,
+    stamp: u64,
+    cost: u64,
+}
+
+impl HotTier {
+    fn new(budget: u64) -> Self {
+        Self { map: HashMap::new(), order: BTreeMap::new(), clock: 0, bytes: 0, budget }
+    }
+
+    /// Fetches and marks `key` most recently used.
+    fn get(&mut self, key: &CellKey) -> Option<Arc<Entry>> {
+        let stamp = self.next_stamp();
+        let slot = self.map.get_mut(key)?;
+        self.order.remove(&slot.stamp);
+        slot.stamp = stamp;
+        self.order.insert(stamp, *key);
+        Some(Arc::clone(&slot.entry))
+    }
+
+    /// Inserts (or replaces) `key`, then evicts least-recently-used
+    /// entries until back under budget. The entry just inserted is
+    /// never evicted — a cell must be reachable at least until the
+    /// next insert, whatever the budget. Returns the eviction count.
+    fn insert(&mut self, key: CellKey, entry: Arc<Entry>) -> u64 {
+        self.remove(&key);
+        let stamp = self.next_stamp();
+        let cost = entry.approx_bytes();
+        self.bytes += cost;
+        self.map.insert(key, HotSlot { entry, stamp, cost });
+        self.order.insert(stamp, key);
+        let mut evicted = 0;
+        while self.bytes > self.budget {
+            let (&oldest, &victim) = self.order.iter().next().expect("order tracks map");
+            if victim == key {
+                break;
+            }
+            self.order.remove(&oldest);
+            let slot = self.map.remove(&victim).expect("map tracks order");
+            self.bytes -= slot.cost;
+            evicted += 1;
+        }
+        evicted
+    }
+
+    fn remove(&mut self, key: &CellKey) {
+        if let Some(slot) = self.map.remove(key) {
+            self.order.remove(&slot.stamp);
+            self.bytes -= slot.cost;
+        }
+    }
+
+    fn next_stamp(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+}
+
+/// One in-flight cold cell: the leader publishes (or abandons) into
+/// `state` and wakes waiting followers.
+#[derive(Debug, Default)]
+struct Flight {
+    state: Mutex<FlightState>,
+    cv: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct FlightState {
+    done: bool,
+    /// `Some` after a publish, `None` after the leader abandoned the
+    /// flight (unwound without publishing).
+    entry: Option<Arc<Entry>>,
+}
+
+impl Flight {
+    fn resolve(&self, entry: Option<Arc<Entry>>) {
+        // `into_inner` over poisoning: resolution happens on drop
+        // paths during unwinds, and a waiter must still be woken.
+        let mut state = self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        state.done = true;
+        state.entry = entry;
+        self.cv.notify_all();
+    }
+
+    /// One bounded wait tick. `Some(resolution)` once the flight is
+    /// resolved; `None` means "still computing, poll and re-wait".
+    fn poll_done(&self, tick: Duration) -> Option<Option<Arc<Entry>>> {
+        let state = self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        if state.done {
+            return Some(state.entry.clone());
+        }
+        let (state, _) = self
+            .cv
+            .wait_timeout(state, tick)
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        state.done.then(|| state.entry.clone())
+    }
+}
+
+/// What [`CacheStore::begin_flight`] resolved a cell demand into.
+#[derive(Debug)]
+pub enum FlightOutcome<'a> {
+    /// The store already had a usable entry (hot or disk hit).
+    Ready(Arc<Entry>),
+    /// Another caller was computing this cell; this is the identical
+    /// entry it published. Each `Shared` is one deduplicated compute.
+    Shared(Arc<Entry>),
+    /// This caller leads: compute the cell and
+    /// [`publish`](FlightLease::publish) it through the lease.
+    Lead(FlightLease<'a>),
+}
+
+/// Leadership of one in-flight cell. [`publish`](Self::publish) stores
+/// the result and releases waiting followers with it; dropping the
+/// lease without publishing (panic, cancellation, early return) wakes
+/// followers empty-handed so one of them takes over — a crashed leader
+/// can never wedge a key.
+#[derive(Debug)]
+pub struct FlightLease<'a> {
+    store: &'a CacheStore,
+    key: CellKey,
+    /// `None` when single-flight is disabled: the lease then degrades
+    /// to a plain [`CacheStore::store`] on publish.
+    flight: Option<Arc<Flight>>,
+    published: bool,
+}
+
+impl FlightLease<'_> {
+    /// The cell this lease leads.
+    #[must_use]
+    pub fn key(&self) -> &CellKey {
+        &self.key
+    }
+
+    /// Publishes the computed cell: stores it (hot tier and store of
+    /// record first, so fresh lookups hit before the flight is
+    /// retired), then hands the identical entry to every waiting
+    /// follower.
+    pub fn publish(mut self, payload: Vec<u8>, delta: Option<Snapshot>) -> Arc<Entry> {
+        let entry = self.store.store_entry(&self.key, payload, delta);
+        self.published = true;
+        if let Some(flight) = self.flight.take() {
+            self.store.retire_flight(&self.key, &flight);
+            flight.resolve(Some(Arc::clone(&entry)));
+        }
+        entry
+    }
+}
+
+impl Drop for FlightLease<'_> {
+    fn drop(&mut self) {
+        if self.published {
+            return;
+        }
+        if let Some(flight) = self.flight.take() {
+            // Retire before resolving: by the time a follower wakes to
+            // retry, the dead flight is gone and the first retrier
+            // re-leads under a fresh slot.
+            self.store.retire_flight(&self.key, &flight);
+            flight.resolve(None);
+        }
+    }
 }
 
 /// The two-tier content-addressed cell store. Cheap to share
@@ -78,9 +300,21 @@ struct StatCells {
 pub struct CacheStore {
     dir: Option<PathBuf>,
     version: u32,
-    hot: Mutex<HashMap<CellKey, Arc<Entry>>>,
+    hot: Mutex<HotTier>,
+    inflight: Mutex<HashMap<CellKey, Arc<Flight>>>,
+    single_flight: AtomicBool,
     manifest: Option<Mutex<Manifest>>,
     stats: StatCells,
+}
+
+/// Hot-tier byte budget: `DESC_CACHE_MEM_BYTES` when set to a
+/// positive integer, [`DEFAULT_MEM_BYTES`] otherwise.
+fn mem_budget_from_env() -> u64 {
+    std::env::var("DESC_CACHE_MEM_BYTES")
+        .ok()
+        .and_then(|raw| raw.trim().parse::<u64>().ok())
+        .filter(|&bytes| bytes > 0)
+        .unwrap_or(DEFAULT_MEM_BYTES)
 }
 
 impl CacheStore {
@@ -92,10 +326,27 @@ impl CacheStore {
         Self {
             dir: None,
             version,
-            hot: Mutex::new(HashMap::new()),
+            hot: Mutex::new(HotTier::new(mem_budget_from_env())),
+            inflight: Mutex::new(HashMap::new()),
+            single_flight: AtomicBool::new(true),
             manifest: None,
             stats: StatCells::default(),
         }
+    }
+
+    /// Replaces the hot tier's byte budget (tests and benches; the
+    /// production budget comes from `DESC_CACHE_MEM_BYTES`).
+    #[must_use]
+    pub fn with_mem_budget(self, bytes: u64) -> Self {
+        self.hot.lock().expect("hot tier poisoned").budget = bytes;
+        self
+    }
+
+    /// Enables/disables single-flight dedup (enabled by default).
+    /// With it off, [`Self::begin_flight`] still works but every
+    /// cold caller leads — the `bench_pipeline` contention baseline.
+    pub fn set_single_flight(&self, enabled: bool) {
+        self.single_flight.store(enabled, Ordering::Relaxed);
     }
 
     /// Opens (creating as needed) the on-disk store at `dir`.
@@ -118,7 +369,9 @@ impl CacheStore {
         Ok(Self {
             dir: Some(dir),
             version,
-            hot: Mutex::new(HashMap::new()),
+            hot: Mutex::new(HotTier::new(mem_budget_from_env())),
+            inflight: Mutex::new(HashMap::new()),
+            single_flight: AtomicBool::new(true),
             manifest: Some(Mutex::new(manifest)),
             stats: StatCells::default(),
         })
@@ -148,10 +401,10 @@ impl CacheStore {
     /// with one that has them).
     pub fn lookup(&self, key: &CellKey, require_delta: bool) -> Option<Arc<Entry>> {
         let usable = |e: &Entry| !require_delta || e.delta.is_some();
-        if let Some(entry) = self.hot.lock().expect("hot map poisoned").get(key) {
-            if usable(entry) {
+        if let Some(entry) = self.hot.lock().expect("hot tier poisoned").get(key) {
+            if usable(&entry) {
                 self.bump(&self.stats.hits_memory, "cache.hits_memory");
-                return Some(Arc::clone(entry));
+                return Some(entry);
             }
             self.bump(&self.stats.misses, "cache.misses");
             return None;
@@ -174,10 +427,9 @@ impl CacheStore {
         match decode_entry(&bytes, self.version, key) {
             Ok(entry) if usable(&entry) => {
                 let entry = Arc::new(entry);
-                self.hot
-                    .lock()
-                    .expect("hot map poisoned")
-                    .insert(*key, Arc::clone(&entry));
+                let evicted =
+                    self.hot.lock().expect("hot tier poisoned").insert(*key, Arc::clone(&entry));
+                self.bump_by(&self.stats.evictions, "cache.evictions", evicted);
                 self.bump(&self.stats.hits_disk, "cache.hits_disk");
                 Some(entry)
             }
@@ -203,7 +455,7 @@ impl CacheStore {
     /// it from the hot tier so the recompute's [`CacheStore::store`]
     /// is what future lookups see.
     pub fn note_corrupt(&self, key: &CellKey) {
-        self.hot.lock().expect("hot map poisoned").remove(key);
+        self.hot.lock().expect("hot tier poisoned").remove(key);
         self.bump(&self.stats.errors, "cache.errors");
     }
 
@@ -213,13 +465,15 @@ impl CacheStore {
     /// never raised — a broken disk degrades the cache to memory-only
     /// behavior rather than failing the run.
     pub fn store(&self, key: &CellKey, payload: Vec<u8>, delta: Option<Snapshot>) {
+        let _ = self.store_entry(key, payload, delta);
+    }
+
+    fn store_entry(&self, key: &CellKey, payload: Vec<u8>, delta: Option<Snapshot>) -> Arc<Entry> {
         let entry = Arc::new(Entry { payload, delta });
-        self.hot
-            .lock()
-            .expect("hot map poisoned")
-            .insert(*key, Arc::clone(&entry));
+        let evicted = self.hot.lock().expect("hot tier poisoned").insert(*key, Arc::clone(&entry));
+        self.bump_by(&self.stats.evictions, "cache.evictions", evicted);
         self.bump(&self.stats.stores, "cache.stores");
-        let Some(dir) = &self.dir else { return };
+        let Some(dir) = &self.dir else { return entry };
         let bytes = encode_entry(self.version, key, &entry.payload, entry.delta.as_ref());
         let path = self.object_path(dir, key);
         let written = path
@@ -229,7 +483,7 @@ impl CacheStore {
             .and_then(|()| write_atomic(&path, &bytes));
         if written.is_err() {
             self.bump(&self.stats.errors, "cache.errors");
-            return;
+            return entry;
         }
         if let Some(manifest) = &self.manifest {
             let recorded = manifest
@@ -239,6 +493,92 @@ impl CacheStore {
             if recorded.is_err() {
                 self.bump(&self.stats.errors, "cache.errors");
             }
+        }
+        entry
+    }
+
+    /// Resolves a demand for `key` into a hit, a shared in-flight
+    /// result, or leadership of the compute — the single-flight entry
+    /// point (see the module docs).
+    ///
+    /// `poll` runs between bounded wait ticks while this caller waits
+    /// on another's flight, with no store locks held; it may unwind
+    /// (e.g. a cancellation check) to abandon the wait. Leaders'
+    /// `poll` is never called.
+    ///
+    /// With `require_delta`, a published entry without a metric delta
+    /// does not satisfy a waiting follower — it loops and recomputes,
+    /// exactly as [`Self::lookup`] treats such entries as misses.
+    pub fn begin_flight(
+        &self,
+        key: &CellKey,
+        require_delta: bool,
+        poll: &mut dyn FnMut(),
+    ) -> FlightOutcome<'_> {
+        loop {
+            if let Some(entry) = self.lookup(key, require_delta) {
+                return FlightOutcome::Ready(entry);
+            }
+            if !self.single_flight.load(Ordering::Relaxed) {
+                // Dedup off: every cold caller leads, nobody waits.
+                return FlightOutcome::Lead(FlightLease {
+                    store: self,
+                    key: *key,
+                    flight: None,
+                    published: false,
+                });
+            }
+            let flight = {
+                let mut inflight = self.inflight.lock().expect("inflight registry poisoned");
+                match inflight.get(key) {
+                    Some(flight) => Arc::clone(flight),
+                    None => {
+                        let flight = Arc::new(Flight::default());
+                        inflight.insert(*key, Arc::clone(&flight));
+                        self.bump(&self.stats.inflight_leads, "cache.inflight_leads");
+                        return FlightOutcome::Lead(FlightLease {
+                            store: self,
+                            key: *key,
+                            flight: Some(flight),
+                            published: false,
+                        });
+                    }
+                }
+            };
+            self.bump(&self.stats.inflight_waits, "cache.inflight_waits");
+            loop {
+                match flight.poll_done(FLIGHT_WAIT_TICK) {
+                    Some(Some(entry)) => {
+                        if !require_delta || entry.delta.is_some() {
+                            self.bump(&self.stats.inflight_hits, "cache.inflight_hits");
+                            return FlightOutcome::Shared(entry);
+                        }
+                        // The leader published without the delta this
+                        // caller needs; recompute (outer loop leads).
+                        break;
+                    }
+                    Some(None) => {
+                        // Leader abandoned the flight: retry from the
+                        // top — the first retrier re-leads, the rest
+                        // queue behind it.
+                        self.bump(&self.stats.inflight_handoffs, "cache.inflight_handoffs");
+                        break;
+                    }
+                    None => poll(),
+                }
+            }
+        }
+    }
+
+    /// Removes `flight` from the registry iff it is still the one
+    /// registered under `key` (a successor may already have re-led).
+    fn retire_flight(&self, key: &CellKey, flight: &Arc<Flight>) {
+        let mut inflight = self
+            .inflight
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if inflight.get(key).is_some_and(|current| Arc::ptr_eq(current, flight)) {
+            inflight.remove(key);
         }
     }
 
@@ -252,6 +592,11 @@ impl CacheStore {
             stores: self.stats.stores.load(Ordering::Relaxed),
             version_mismatches: self.stats.version_mismatches.load(Ordering::Relaxed),
             errors: self.stats.errors.load(Ordering::Relaxed),
+            evictions: self.stats.evictions.load(Ordering::Relaxed),
+            inflight_leads: self.stats.inflight_leads.load(Ordering::Relaxed),
+            inflight_waits: self.stats.inflight_waits.load(Ordering::Relaxed),
+            inflight_hits: self.stats.inflight_hits.load(Ordering::Relaxed),
+            inflight_handoffs: self.stats.inflight_handoffs.load(Ordering::Relaxed),
         }
     }
 
@@ -275,11 +620,18 @@ impl CacheStore {
     }
 
     fn bump(&self, cell: &AtomicU64, metric: &str) {
-        cell.fetch_add(1, Ordering::Relaxed);
+        self.bump_by(cell, metric, 1);
+    }
+
+    fn bump_by(&self, cell: &AtomicU64, metric: &str, n: u64) {
+        if n == 0 {
+            return;
+        }
+        cell.fetch_add(n, Ordering::Relaxed);
         // Cell-granular (not per-access), so the registry lookup is
         // fine without a cached handle.
         if desc_telemetry::enabled() {
-            desc_telemetry::global().counter(metric).incr();
+            desc_telemetry::global().counter(metric).add(n);
         }
     }
 }
@@ -382,6 +734,141 @@ mod tests {
         let hit = store.lookup(&key(8), true).expect("delta-bearing hit");
         assert_eq!(hit.delta.as_ref().unwrap().metrics, delta.metrics);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Convenience for tests that never wait: lead or die.
+    fn must_lead<'a>(store: &'a CacheStore, k: &CellKey) -> FlightLease<'a> {
+        match store.begin_flight(k, false, &mut || {}) {
+            FlightOutcome::Lead(lease) => lease,
+            other => panic!("expected leadership, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn flight_leader_publishes_and_follower_shares_the_same_arc() {
+        let store = Arc::new(CacheStore::in_memory(1));
+        let lease = must_lead(&store, &key(11));
+        let follower = {
+            let store = Arc::clone(&store);
+            std::thread::spawn(move || {
+                match store.begin_flight(&key(11), false, &mut || {}) {
+                    FlightOutcome::Shared(e) | FlightOutcome::Ready(e) => e,
+                    FlightOutcome::Lead(_) => panic!("key already led"),
+                }
+            })
+        };
+        // Give the follower time to join the flight (no harm if it
+        // instead lands on a hot-map hit after the publish).
+        std::thread::sleep(Duration::from_millis(30));
+        let published = lease.publish(vec![4, 5, 6], None);
+        let shared = follower.join().unwrap();
+        assert!(Arc::ptr_eq(&published, &shared) || shared.payload == published.payload);
+        let stats = store.stats();
+        assert_eq!(stats.inflight_leads, 1, "{stats:?}");
+        assert_eq!(stats.stores, 1, "{stats:?}");
+    }
+
+    #[test]
+    fn abandoned_flight_hands_leadership_to_a_follower() {
+        let store = Arc::new(CacheStore::in_memory(1));
+        let lease = must_lead(&store, &key(12));
+        let follower = {
+            let store = Arc::clone(&store);
+            std::thread::spawn(move || match store.begin_flight(&key(12), false, &mut || {}) {
+                FlightOutcome::Lead(lease) => {
+                    lease.publish(vec![9], None);
+                }
+                other => panic!("follower should inherit leadership, got {other:?}"),
+            })
+        };
+        // Wait until the follower is registered as a waiter, then
+        // abandon leadership by dropping the lease unpublished.
+        while store.stats().inflight_waits == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        drop(lease);
+        follower.join().unwrap();
+        let stats = store.stats();
+        assert_eq!(stats.inflight_handoffs, 1, "{stats:?}");
+        assert_eq!(stats.inflight_leads, 2, "{stats:?}");
+        assert_eq!(store.lookup(&key(12), false).unwrap().payload, vec![9]);
+    }
+
+    #[test]
+    fn follower_poll_can_unwind_and_registry_stays_clean() {
+        let store = Arc::new(CacheStore::in_memory(1));
+        let lease = must_lead(&store, &key(13));
+        let follower = {
+            let store = Arc::clone(&store);
+            std::thread::spawn(move || {
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    store.begin_flight(&key(13), false, &mut || panic!("cancelled"))
+                }));
+            })
+        };
+        while store.stats().inflight_waits == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        follower.join().unwrap();
+        // The leader is unaffected by the follower's unwind and can
+        // still publish; the registry slot retires with it.
+        lease.publish(vec![7], None);
+        assert!(store.inflight.lock().unwrap().is_empty());
+        assert_eq!(store.lookup(&key(13), false).unwrap().payload, vec![7]);
+    }
+
+    #[test]
+    fn single_flight_off_means_every_cold_caller_leads() {
+        let store = CacheStore::in_memory(1);
+        store.set_single_flight(false);
+        let a = must_lead(&store, &key(14));
+        let b = must_lead(&store, &key(14));
+        a.publish(vec![1], None);
+        b.publish(vec![1], None);
+        let stats = store.stats();
+        assert_eq!((stats.inflight_leads, stats.stores), (0, 2), "{stats:?}");
+    }
+
+    #[test]
+    fn hot_tier_evicts_lru_under_byte_budget_but_disk_survives() {
+        let dir = tmp_dir("lru");
+        // Budget fits roughly one entry (payload + fixed overhead).
+        let store = CacheStore::open(&dir, 1).unwrap().with_mem_budget(200);
+        store.store(&key(1), vec![0u8; 64], None);
+        store.store(&key(2), vec![0u8; 64], None);
+        let stats = store.stats();
+        assert!(stats.evictions >= 1, "{stats:?}");
+        // key(1) was evicted from the hot tier but re-reads from disk.
+        assert_eq!(store.lookup(&key(1), false).unwrap().payload.len(), 64);
+        assert!(store.stats().hits_disk >= 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn newest_entry_is_never_evicted_even_over_budget() {
+        let store = CacheStore::in_memory(1).with_mem_budget(1);
+        store.store(&key(21), vec![0u8; 4096], None);
+        assert!(store.lookup(&key(21), false).is_some(), "newest stays reachable");
+        store.store(&key(22), vec![0u8; 4096], None);
+        assert!(store.lookup(&key(22), false).is_some());
+        // The older one is gone (memory-only store: a true miss).
+        assert!(store.lookup(&key(21), false).is_none());
+        assert_eq!(store.stats().evictions, 1);
+    }
+
+    #[test]
+    fn lru_touch_protects_recently_used_entries() {
+        // Each delta-less entry costs 40 (payload) + 96 (overhead)
+        // bytes; a 420-byte budget holds three but not four.
+        let store = CacheStore::in_memory(1).with_mem_budget(420);
+        store.store(&key(31), vec![0u8; 40], None);
+        store.store(&key(32), vec![0u8; 40], None);
+        store.store(&key(33), vec![0u8; 40], None);
+        // Touch 31 so 32 becomes the LRU victim.
+        store.lookup(&key(31), false).unwrap();
+        store.store(&key(34), vec![0u8; 40], None);
+        assert!(store.lookup(&key(31), false).is_some(), "touched entry survives");
+        assert!(store.lookup(&key(32), false).is_none(), "LRU entry evicted");
     }
 
     #[test]

@@ -28,6 +28,22 @@
 //! byte-identical inputs for any worker count, any cap, and any
 //! interleaving. Nothing downstream needs to reason about the pool.
 //!
+//! # Fair cross-group scheduling
+//!
+//! Concurrently open regions are drained **weighted round-robin
+//! across [`Group`]s**: a region is tagged with the group installed on
+//! its submitting thread ([`install_group`]), every claimed task
+//! charges the group's virtual time by `1/weight`, and workers run
+//! one task at a time, each time re-picking the claimable region whose
+//! group has received the least weighted service. A one-cell request
+//! tagged with its own group therefore gets the next worker slot even
+//! while a 1000-cell sweep is in flight. Untagged work shares one
+//! default group, and same-group regions keep strict submission order
+//! — a single-client process schedules exactly as before. Fairness
+//! only redistributes *worker* help; the submitting caller still
+//! drains its own region, which is what keeps determinism and the
+//! no-deadlock argument below intact.
+//!
 //! # Nested submission cannot deadlock
 //!
 //! A task may itself call [`run`] (a `run_matrix` cell running a
@@ -317,6 +333,135 @@ pub fn check_cancelled() {
     });
 }
 
+/// Fixed-point scale for group virtual time: a weight-1 group is
+/// charged this much per claimed task, a weight-`w` group `1/w` of it.
+const WEIGHT_SCALE: u64 = 1 << 16;
+
+#[derive(Debug)]
+struct GroupInner {
+    name: String,
+    weight: u64,
+    /// Weighted service received, in [`WEIGHT_SCALE`] fixed-point:
+    /// grows by `WEIGHT_SCALE / weight` per task claimed by any region
+    /// of this group. Workers prefer the claimable region whose group
+    /// has the *smallest* virtual time, which is what makes the
+    /// draining weighted-round-robin fair across groups.
+    vtime: AtomicU64,
+    /// Tasks claimed by this group's regions (service in plain units).
+    tasks: AtomicU64,
+}
+
+/// A fair-share scheduling identity for pool work — one per client,
+/// request, or logical job. Regions submitted while a group is
+/// installed ([`install_group`]) are tagged with it, and pool workers
+/// drain concurrently open regions **weighted round-robin across
+/// groups**: after every task a worker re-picks the claimable region
+/// whose group has received the least weighted service, so a one-cell
+/// request tagged with its own group never waits for a 1000-cell
+/// sweep's region to drain. A group with weight `w` receives `w`
+/// shares; untagged regions all pool into one process-wide default
+/// group.
+///
+/// Fairness only redistributes *worker* help — the submitting caller
+/// still drains its own region itself, so determinism, nesting, and
+/// the no-deadlock argument are untouched.
+///
+/// Cheap to clone (shared handle); service accounting is visible via
+/// [`tasks`](Self::tasks) and [`vtime`](Self::vtime).
+#[derive(Debug, Clone)]
+pub struct Group {
+    inner: Arc<GroupInner>,
+}
+
+impl Group {
+    /// A new group with `weight` fair shares (clamped to at least 1).
+    #[must_use]
+    pub fn new(name: impl Into<String>, weight: u32) -> Self {
+        Group {
+            inner: Arc::new(GroupInner {
+                name: name.into(),
+                weight: u64::from(weight.max(1)),
+                vtime: AtomicU64::new(0),
+                tasks: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// The group's display name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// The group's fair-share weight.
+    #[must_use]
+    pub fn weight(&self) -> u32 {
+        u32::try_from(self.inner.weight).unwrap_or(u32::MAX)
+    }
+
+    /// Tasks claimed by this group's regions so far.
+    #[must_use]
+    pub fn tasks(&self) -> u64 {
+        self.inner.tasks.load(Ordering::Relaxed)
+    }
+
+    /// Weighted service received (fixed-point; see [`Group`]). Useful
+    /// for tests and diagnostics, not meaningful in wall-clock units.
+    #[must_use]
+    pub fn vtime(&self) -> u64 {
+        self.inner.vtime.load(Ordering::Relaxed)
+    }
+
+    fn charge(&self) {
+        self.inner.tasks.fetch_add(1, Ordering::Relaxed);
+        self.inner.vtime.fetch_add(WEIGHT_SCALE / self.inner.weight, Ordering::Relaxed);
+    }
+
+    fn same(&self, other: &Group) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+/// The group untagged regions land in, so fairness between tagged and
+/// untagged work still has two comparable parties.
+fn default_group() -> Group {
+    static DEFAULT: OnceLock<Group> = OnceLock::new();
+    DEFAULT.get_or_init(|| Group::new("main", 1)).clone()
+}
+
+thread_local! {
+    static GROUP: RefCell<Option<Group>> = const { RefCell::new(None) };
+}
+
+/// Restores the previously installed [`Group`] (if any) when dropped.
+#[derive(Debug)]
+pub struct GroupGuard {
+    prev: Option<Group>,
+}
+
+impl Drop for GroupGuard {
+    fn drop(&mut self) {
+        GROUP.with(|g| *g.borrow_mut() = self.prev.take());
+    }
+}
+
+/// Installs `group` (or clears the installation with `None`) on the
+/// current thread until the returned guard drops. Regions submitted
+/// while a group is installed are tagged with it — and, like the
+/// capture sink and cancel token, the tag is mirrored onto every
+/// thread that drains the region, so nested regions inherit it no
+/// matter which pool thread submits them.
+#[must_use]
+pub fn install_group(group: Option<Group>) -> GroupGuard {
+    GroupGuard { prev: GROUP.with(|g| g.replace(group)) }
+}
+
+/// The group installed on the current thread, if any.
+#[must_use]
+pub fn current_group() -> Option<Group> {
+    GROUP.with(|g| g.borrow().clone())
+}
+
 /// One fork-join scope: `total` indexed tasks behind a type-erased
 /// entry point.
 ///
@@ -355,6 +500,11 @@ struct Region {
     /// submitted from pool workers inherit the same deadline. Checked
     /// once per task claim.
     cancel: Option<CancelToken>,
+    /// Fair-share group this region's service is charged to (see
+    /// [`Group`]); the thread-installed group at submit time, or the
+    /// process default. Mirrored onto draining threads like `sink` and
+    /// `cancel`, so nested regions inherit it.
+    group: Group,
     /// Next unclaimed task index; CAS-claimed so it never exceeds
     /// `total` (which keeps the cancellation arithmetic on the panic
     /// path exact).
@@ -399,6 +549,7 @@ impl Region {
             agg,
             sink: desc_telemetry::capture_sink(),
             cancel: current_cancel(),
+            group: current_group().unwrap_or_else(default_group),
             next: AtomicUsize::new(0),
             // The submitting caller counts as already active.
             active: AtomicUsize::new(1),
@@ -443,7 +594,14 @@ impl Region {
                 Ordering::Relaxed,
                 Ordering::Relaxed,
             ) {
-                Ok(_) => return Some(cur),
+                Ok(_) => {
+                    // Service accounting happens at claim time (not
+                    // completion), so a group's virtual time reflects
+                    // work already handed to it when workers pick
+                    // their next region.
+                    self.group.charge();
+                    return Some(cur);
+                }
                 Err(seen) => cur = seen,
             }
         }
@@ -455,6 +613,13 @@ impl Region {
     /// caller wakes) and records the first payload for re-raising on
     /// the submitting thread.
     fn execute_until_empty(&self) -> u64 {
+        self.execute(usize::MAX)
+    }
+
+    /// [`Self::execute_until_empty`] bounded to at most `limit` tasks
+    /// — the weighted-round-robin burst unit for pool workers, which
+    /// re-pick the fairest claimable region after every task.
+    fn execute(&self, limit: usize) -> u64 {
         // Mirror the submitter's metric capture (if any) for the whole
         // drain; the guard restores this thread's previous sink. On
         // the submitting thread itself this re-installs the same sink,
@@ -467,8 +632,12 @@ impl Region {
         // regions they nest) observe the same deadline on every
         // draining thread.
         let _cancel = self.cancel.as_ref().map(|t| install_cancel(Some(t.clone())));
+        // And the fair-share group, so nested regions are charged to
+        // the same client.
+        let _group = install_group(Some(self.group.clone()));
         let mut ran = 0u64;
-        while let Some(i) = self.claim() {
+        while (ran as usize) < limit {
+            let Some(i) = self.claim() else { break };
             ran += 1;
             let start_us = self.agg.as_ref().map(|_| desc_telemetry::now_us());
             // SAFETY: `i` was claimed exactly once and `ctx` is alive
@@ -601,7 +770,19 @@ impl Pool {
             let region = {
                 let mut open = self.open.lock().unwrap_or_else(|e| e.into_inner());
                 loop {
-                    if let Some(r) = open.iter().find(|r| r.claimable()) {
+                    // Weighted round-robin across groups: among the
+                    // claimable regions, take the one whose group has
+                    // received the least weighted service. Strict `<`
+                    // keeps submission order as the tie-break, so
+                    // same-group regions (and a single-client process)
+                    // drain FIFO exactly as before.
+                    let mut best: Option<&Arc<Region>> = None;
+                    for r in open.iter().filter(|r| r.claimable()) {
+                        if best.is_none_or(|b| r.group.vtime() < b.group.vtime()) {
+                            best = Some(r);
+                        }
+                    }
+                    if let Some(r) = best {
                         break Arc::clone(r);
                     }
                     open = self.work.wait(open).unwrap_or_else(|e| e.into_inner());
@@ -611,9 +792,13 @@ impl Pool {
             // race with other claimants is resolved here; a loser just
             // rescans (and sleeps if nothing else is claimable).
             if region.try_enter() {
-                region.execute_until_empty();
+                // Burst of one task, then re-pick: this is what lets a
+                // freshly submitted small region take the next worker
+                // slot instead of waiting for a large region to drain.
+                region.execute(1);
                 region.exit();
-                // Leaving may free cap headroom for a sibling worker.
+                // Leaving may free cap headroom for a sibling worker,
+                // and the fairest region may have changed.
                 self.work.notify_all();
             } else {
                 // Lost the race to the concurrency cap: spare capacity
@@ -625,6 +810,19 @@ impl Pool {
 
     fn submit(&'static self, region: Arc<Region>) {
         let mut open = self.open.lock().unwrap_or_else(|e| e.into_inner());
+        // A group entering (or re-entering) service must not undercut
+        // groups already being served: raise its virtual time to the
+        // smallest among the other open regions' groups, so a fresh
+        // client gets the *next* fair turn, not a monopolizing replay
+        // of the service it never used.
+        let floor = open
+            .iter()
+            .filter(|r| !r.group.same(&region.group))
+            .map(|r| r.group.vtime())
+            .min();
+        if let Some(floor) = floor {
+            region.group.inner.vtime.fetch_max(floor, Ordering::Relaxed);
+        }
         open.push(region);
         drop(open);
         self.work.notify_all();
@@ -1146,6 +1344,94 @@ mod tests {
         let worked: u64 = util.workers.iter().map(|w| w.tasks).sum();
         assert!(busy >= region.run_us_sum, "worker busy time covers the region");
         assert!(worked >= 8);
+    }
+
+    #[test]
+    fn group_service_is_charged_per_claim() {
+        configure(2);
+        let group = Group::new("charged", 2);
+        let before_vtime = group.vtime();
+        let guard = install_group(Some(group.clone()));
+        let _ = run(10, 2, |i| i);
+        drop(guard);
+        assert_eq!(group.tasks(), 10);
+        // Weight 2 => half a weight-1 charge per task; the submit-time
+        // floor clamp can only raise vtime further.
+        assert!(group.vtime() >= before_vtime + 10 * (WEIGHT_SCALE / 2), "{}", group.vtime());
+        assert_eq!(group.name(), "charged");
+        assert_eq!(group.weight(), 2);
+    }
+
+    #[test]
+    fn freshly_submitted_group_inherits_the_service_floor() {
+        configure(2);
+        let holder_group = Group::new("floor-holder", 1);
+        let release = Arc::new(AtomicBool::new(false));
+        let holder = {
+            let group = holder_group.clone();
+            let release = Arc::clone(&release);
+            std::thread::spawn(move || {
+                let _g = install_group(Some(group));
+                run(4, 2, move |_| {
+                    while !release.load(Ordering::Relaxed) {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                });
+            })
+        };
+        // Wait until the holder's region has been charged for at
+        // least one claim, so the floor is provably nonzero.
+        while holder_group.vtime() == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let floor = holder_group.vtime();
+        let fresh = Group::new("floor-fresh", 1);
+        {
+            let fresh = fresh.clone();
+            std::thread::spawn(move || {
+                let _g = install_group(Some(fresh));
+                let _ = run(2, 2, |i| i);
+            })
+            .join()
+            .unwrap();
+        }
+        release.store(true, Ordering::Relaxed);
+        holder.join().unwrap();
+        assert!(
+            fresh.vtime() >= floor,
+            "fresh group must not undercut active groups: {} < {floor}",
+            fresh.vtime()
+        );
+    }
+
+    #[test]
+    fn small_region_completes_while_a_large_sweep_is_in_flight() {
+        configure(4);
+        let sweep_started = Arc::new(AtomicBool::new(false));
+        let sweep = {
+            let started = Arc::clone(&sweep_started);
+            std::thread::spawn(move || {
+                let _g = install_group(Some(Group::new("sweep", 1)));
+                run(300, 4, move |_| {
+                    started.store(true, Ordering::Relaxed);
+                    std::thread::sleep(Duration::from_millis(2));
+                });
+            })
+        };
+        while !sweep_started.load(Ordering::Relaxed) {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // The sweep has hundreds of milliseconds of work left; a
+        // one-cell request in its own group must not wait for it.
+        let _g = install_group(Some(Group::new("ping", 1)));
+        let started = Instant::now();
+        assert_eq!(run(2, 2, |i| i * 7), vec![0, 7]);
+        let elapsed = started.elapsed();
+        sweep.join().unwrap();
+        assert!(
+            elapsed < Duration::from_millis(200),
+            "small region waited behind the sweep: {elapsed:?}"
+        );
     }
 
     /// Unwraps a caught panic payload as a [`Cancelled`] marker.

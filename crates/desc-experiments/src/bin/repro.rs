@@ -324,6 +324,11 @@ fn main() -> ExitCode {
                     stores: s.stores,
                     version_mismatches: s.version_mismatches,
                     errors: s.errors,
+                    evictions: s.evictions,
+                    inflight_leads: s.inflight_leads,
+                    inflight_waits: s.inflight_waits,
+                    inflight_hits: s.inflight_hits,
+                    inflight_handoffs: s.inflight_handoffs,
                     manifest_cells: store.manifest_cells(),
                     resumed: resume,
                 }

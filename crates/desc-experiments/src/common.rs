@@ -186,18 +186,74 @@ pub fn run_custom_keyed(
         scale,
         static_overhead,
     );
+    cached_cell(
+        &store,
+        &key,
+        crate::cache::decode_app_run,
+        crate::cache::encode_app_run,
+        move || run_custom(scheme, config, profile, scale, static_overhead),
+    )
+}
+
+/// The single-flight cached-cell driver shared by
+/// [`run_custom_keyed`] and [`run_snuca`].
+///
+/// [`CacheStore::begin_flight`](desc_cache::CacheStore::begin_flight)
+/// resolves the cell into a store hit, a result shared from another
+/// caller's in-flight compute, or leadership; leading computes under a
+/// per-cell [`desc_telemetry::CaptureSink`] and publishes result +
+/// delta in one step, so concurrent demanders of the same cold cell
+/// compute it exactly once and all observe the identical entry.
+///
+/// While waiting on another caller's flight, this thread polls
+/// [`desc_exec::check_cancelled`] — a cancelled request abandons its
+/// wait promptly (the poll unwinds) without disturbing the leader.
+/// Conversely a *leading* cell that unwinds (panic or cancellation
+/// inside the compute) drops its lease unpublished, which hands
+/// leadership to a waiting follower rather than wedging the key.
+///
+/// The sink installed *around* the cell, if any (e.g. a `desc-serve`
+/// request sink), still sees exactly the cell's metric delta: the
+/// per-cell capture replaces it for the cell's duration (innermost
+/// wins) and `replay` only touches the global registry, so the delta
+/// is absorbed into the outer sink explicitly on every path — warm
+/// hit, shared flight, and cold compute alike. Shared-flight results
+/// additionally bump the sink's `dedup_cells` op counter, the
+/// operational side-channel `desc-serve` reports per request.
+fn cached_cell<T>(
+    store: &desc_cache::CacheStore,
+    key: &desc_cache::CellKey,
+    decode: impl Fn(&[u8]) -> Result<T, desc_cache::CodecError>,
+    encode: impl Fn(&T) -> Vec<u8>,
+    compute: impl FnOnce() -> T,
+) -> T {
+    use desc_cache::FlightOutcome;
     let want_delta = desc_telemetry::enabled();
-    // The sink installed *around* this cell, if any (e.g. a
-    // `desc-serve` request sink). The per-cell capture below replaces
-    // it for the cell's duration (innermost wins), and `replay` only
-    // touches the global registry — so the cell's delta is absorbed
-    // into the outer sink explicitly, on warm hits and cold computes
-    // alike. That keeps a request-scoped snapshot identical to what
-    // the registry accumulates for the same cells.
     let outer = desc_telemetry::capture_sink();
-    if let Some(entry) = store.lookup(&key, want_delta) {
-        match crate::cache::decode_app_run(&entry.payload) {
-            Ok(run) => {
+    let mut compute = Some(compute);
+    loop {
+        let outcome = store.begin_flight(key, want_delta, &mut || desc_exec::check_cancelled());
+        let (entry, shared) = match outcome {
+            FlightOutcome::Ready(entry) => (entry, false),
+            FlightOutcome::Shared(entry) => (entry, true),
+            FlightOutcome::Lead(lease) => {
+                let compute = compute.take().expect("a cell leads at most once");
+                let (value, delta) = if want_delta {
+                    let sink = desc_telemetry::CaptureSink::new();
+                    let value = desc_telemetry::with_capture(&sink, compute);
+                    (value, Some(sink.snapshot()))
+                } else {
+                    (compute(), None)
+                };
+                if let (Some(outer), Some(delta)) = (&outer, delta.as_ref()) {
+                    outer.absorb(delta);
+                }
+                lease.publish(encode(&value), delta);
+                return value;
+            }
+        };
+        match decode(&entry.payload) {
+            Ok(value) => {
                 if want_delta {
                     if let Some(delta) = &entry.delta {
                         desc_telemetry::replay(delta);
@@ -206,27 +262,19 @@ pub fn run_custom_keyed(
                         }
                     }
                 }
-                return run;
+                if shared {
+                    if let Some(outer) = &outer {
+                        outer.incr_op("dedup_cells");
+                    }
+                }
+                return value;
             }
             // Undecodable payload (codec drift without a version
-            // bump): count it, evict it, recompute below.
-            Err(_) => store.note_corrupt(&key),
+            // bump): count it, evict it, recompute (next iteration
+            // leads).
+            Err(_) => store.note_corrupt(key),
         }
     }
-    let (run, delta) = if want_delta {
-        let sink = desc_telemetry::CaptureSink::new();
-        let run = desc_telemetry::with_capture(&sink, || {
-            run_custom(scheme, config, profile, scale, static_overhead)
-        });
-        (run, Some(sink.snapshot()))
-    } else {
-        (run_custom(scheme, config, profile, scale, static_overhead), None)
-    };
-    if let (Some(outer), Some(delta)) = (&outer, delta.as_ref()) {
-        outer.absorb(delta);
-    }
-    store.store(&key, crate::cache::encode_app_run(&run), delta);
-    run
 }
 
 /// Simulates `profile` under a paper-configured scheme on the paper's
@@ -271,39 +319,13 @@ pub fn run_snuca(
         scale.seed,
         scale.accesses,
     );
-    let want_delta = desc_telemetry::enabled();
-    // See `run_custom_keyed`: absorb the cell's delta into the sink
-    // installed around this cell so request-scoped captures match the
-    // global registry.
-    let outer = desc_telemetry::capture_sink();
-    if let Some(entry) = store.lookup(&key, want_delta) {
-        match crate::cache::decode_snuca(&entry.payload) {
-            Ok(result) => {
-                if want_delta {
-                    if let Some(delta) = &entry.delta {
-                        desc_telemetry::replay(delta);
-                        if let Some(outer) = &outer {
-                            outer.absorb(delta);
-                        }
-                    }
-                }
-                return result;
-            }
-            Err(_) => store.note_corrupt(&key),
-        }
-    }
-    let (result, delta) = if want_delta {
-        let sink = desc_telemetry::CaptureSink::new();
-        let result = desc_telemetry::with_capture(&sink, || compute(scheme));
-        (result, Some(sink.snapshot()))
-    } else {
-        (compute(scheme), None)
-    };
-    if let (Some(outer), Some(delta)) = (&outer, delta.as_ref()) {
-        outer.absorb(delta);
-    }
-    store.store(&key, crate::cache::encode_snuca(&result), delta);
-    result
+    cached_cell(
+        &store,
+        &key,
+        crate::cache::decode_snuca,
+        crate::cache::encode_snuca,
+        move || compute(scheme),
+    )
 }
 
 /// Runs every cell of a (row × configuration) sweep on the

@@ -101,7 +101,10 @@ fn main() -> ExitCode {
                      --jobs N          default sweep-cell concurrency per request\n\
                      \x20                 (default: all hardware threads)\n\
                      --default-deadline-ms N  deadline for requests that carry none\n\
-                     --retry-after-ms N  hint attached to `busy` rejections (default: 250)\n\
+                     --retry-after-ms N  fallback hint attached to `busy` rejections\n\
+                     \x20                 before any request completes (default: 250);\n\
+                     \x20                 afterwards the hint tracks queue depth and\n\
+                     \x20                 recent service times\n\
                      --cache-dir DIR   share a persistent cell store across requests\n\
                      \x20                 and restarts (see docs/CACHE.md)\n\
                      --report PATH     write a final desc-run-report/v1 (with the\n\
@@ -179,6 +182,11 @@ fn main() -> ExitCode {
                 stores: s.stores,
                 version_mismatches: s.version_mismatches,
                 errors: s.errors,
+                evictions: s.evictions,
+                inflight_leads: s.inflight_leads,
+                inflight_waits: s.inflight_waits,
+                inflight_hits: s.inflight_hits,
+                inflight_handoffs: s.inflight_handoffs,
                 manifest_cells: store.manifest_cells(),
                 resumed: false,
             }

@@ -17,6 +17,9 @@ use std::net::{TcpStream, ToSocketAddrs};
 pub struct RunRequest {
     /// Correlation id echoed in the response (optional).
     pub id: Option<String>,
+    /// Client identity for fair cross-client scheduling (optional);
+    /// requests sharing a `client` share one fair-queue weight.
+    pub client: Option<String>,
     /// Experiment names; `None` encodes `"all"`.
     pub experiments: Option<Vec<String>>,
     /// Scale preset (`tiny` | `quick` | `full`; server default `tiny`).
@@ -58,6 +61,9 @@ impl RunRequest {
             .with("op", Json::Str("run".to_owned()));
         if let Some(id) = &self.id {
             out = out.with("id", Json::Str(id.clone()));
+        }
+        if let Some(client) = &self.client {
+            out = out.with("client", Json::Str(client.clone()));
         }
         out = out.with(
             "experiments",

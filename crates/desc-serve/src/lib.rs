@@ -19,7 +19,19 @@
 //! - **Backpressure**: at most [`ServeConfig::workers`] requests
 //!   execute at once; up to [`ServeConfig::queue`] more wait. Beyond
 //!   that a request is rejected immediately with `busy` and a
-//!   `retry_after_ms` hint — the server never queues unboundedly.
+//!   `retry_after_ms` hint — the server never queues unboundedly. The
+//!   hint is dynamic: queue depth times an EWMA of recent service
+//!   times, divided by the worker count, clamped to [25 ms, 60 s]
+//!   (the configured constant until a first request completes).
+//! - **Fairness**: each admitted request executes its cells under a
+//!   [`desc_exec::Group`] named by the request's `client` key (its
+//!   `id` when untagged), so pool workers drain concurrent requests'
+//!   regions weighted-round-robin — a 1-cell probe completes while a
+//!   1000-cell sweep is in flight instead of queueing behind it.
+//!   Overlapping sweeps also deduplicate: a cell already being
+//!   computed by another request is shared via single-flight, reported
+//!   per-request as `dedup_cells` and cumulatively as
+//!   `serve.dedup_*`.
 //! - **Deadlines**: a request's `deadline_ms` covers queueing *and*
 //!   execution. Expiry cancels the request's remaining cells at the
 //!   next task boundary (see [`desc_exec::CancelToken`]) and replies
@@ -68,7 +80,9 @@ pub struct ServeConfig {
     /// Maximum run requests waiting for a worker slot; beyond this,
     /// requests are rejected with `busy`.
     pub queue: usize,
-    /// `retry_after_ms` hint attached to `busy` rejections.
+    /// Fallback `retry_after_ms` hint attached to `busy` rejections
+    /// before any request has completed; afterwards the hint is
+    /// derived from queue depth and an EWMA of recent service times.
     pub retry_after_ms: u64,
     /// Deadline applied to requests that do not carry their own.
     pub default_deadline_ms: Option<u64>,
@@ -104,14 +118,23 @@ struct Counters {
     rejected_malformed: AtomicU64,
     timed_out: AtomicU64,
     failed: AtomicU64,
+    dedup_cells: AtomicU64,
+    dedup_requests: AtomicU64,
     active: AtomicU64,
 }
 
 impl Counters {
     fn bump(field: &AtomicU64, name: &'static str) {
-        field.fetch_add(1, Ordering::Relaxed);
+        Counters::add(field, name, 1);
+    }
+
+    fn add(field: &AtomicU64, name: &'static str, n: u64) {
+        if n == 0 {
+            return;
+        }
+        field.fetch_add(n, Ordering::Relaxed);
         if desc_telemetry::enabled() {
-            desc_telemetry::global().counter(name).add(1);
+            desc_telemetry::global().counter(name).add(n);
         }
     }
 }
@@ -223,6 +246,10 @@ impl Gate {
     fn is_draining(&self) -> bool {
         self.state.lock().unwrap_or_else(|e| e.into_inner()).draining
     }
+
+    fn queued(&self) -> usize {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).queued
+    }
 }
 
 /// Per-connection bookkeeping so a drain can close *idle* connections
@@ -239,9 +266,33 @@ struct Shared {
     gate: Arc<Gate>,
     counters: Counters,
     conns: Mutex<Vec<Arc<Conn>>>,
+    /// EWMA (α = 1/8) of completed-request service time in ms; `0`
+    /// means no request has completed yet. Feeds [`Shared::retry_hint`].
+    service_ewma_ms: AtomicU64,
 }
 
 impl Shared {
+    /// Folds one completed request's service time into the EWMA.
+    fn note_service_ms(&self, elapsed_ms: u64) {
+        let sample = elapsed_ms.max(1);
+        let old = self.service_ewma_ms.load(Ordering::Relaxed);
+        let new = if old == 0 { sample } else { (old * 7 + sample) / 8 };
+        self.service_ewma_ms.store(new, Ordering::Relaxed);
+    }
+
+    /// The `retry_after_ms` hint for a `busy` rejection: the time the
+    /// queue is expected to take to drain one slot, estimated from the
+    /// current queue depth and the recent service-time EWMA, clamped
+    /// to [25 ms, 60 s]. Falls back to the configured constant until a
+    /// first request completes.
+    fn retry_hint(&self) -> u64 {
+        let ewma = self.service_ewma_ms.load(Ordering::Relaxed);
+        if ewma == 0 {
+            return self.config.retry_after_ms;
+        }
+        let queued = self.gate.queued() as u64;
+        ((queued + 1).saturating_mul(ewma) / self.gate.workers as u64).clamp(25, 60_000)
+    }
     /// The live `serve` stanza.
     fn serve_report(&self) -> ServeReport {
         let c = &self.counters;
@@ -256,6 +307,8 @@ impl Shared {
             rejected_malformed: c.rejected_malformed.load(Ordering::Relaxed),
             timed_out: c.timed_out.load(Ordering::Relaxed),
             failed: c.failed.load(Ordering::Relaxed),
+            dedup_cells: c.dedup_cells.load(Ordering::Relaxed),
+            dedup_requests: c.dedup_requests.load(Ordering::Relaxed),
             active: c.active.load(Ordering::Relaxed),
             draining: self.gate.is_draining(),
         }
@@ -274,6 +327,11 @@ impl Shared {
             stores: s.stores,
             version_mismatches: s.version_mismatches,
             errors: s.errors,
+            evictions: s.evictions,
+            inflight_leads: s.inflight_leads,
+            inflight_waits: s.inflight_waits,
+            inflight_hits: s.inflight_hits,
+            inflight_handoffs: s.inflight_handoffs,
             manifest_cells: store.manifest_cells(),
             resumed: false,
         })
@@ -321,6 +379,7 @@ impl Server {
             gate,
             counters: Counters::default(),
             conns: Mutex::new(Vec::new()),
+            service_ewma_ms: AtomicU64::new(0),
         });
         Ok(Server { listener, shared })
     }
@@ -494,7 +553,7 @@ fn handle_run(shared: &Shared, request: &Request, started: Instant) -> Json {
                     "{} running and {} queued requests; retry later",
                     shared.config.workers, shared.config.queue
                 ),
-                Some(shared.config.retry_after_ms),
+                Some(shared.retry_hint()),
             );
         }
         Admission::Draining => {
@@ -551,9 +610,21 @@ fn handle_run(shared: &Shared, request: &Request, started: Instant) -> Json {
     // served warm from the shared cache — is absorbed into it (see
     // `desc_experiments::run_custom_keyed`), so the embedded report's
     // `metrics` match a `repro --report` of the same cells.
+    // The request's fair-scheduling identity: requests tagged with the
+    // same `client` share one weight per request, so a small request
+    // drains alongside a large sweep instead of behind it (see
+    // `desc_exec`'s fair cross-group scheduling).
+    let identity = request.client.as_deref().unwrap_or(if request.id.is_empty() {
+        "anonymous"
+    } else {
+        request.id.as_str()
+    });
+    let group = desc_exec::Group::new(identity, 1);
+
     let sink = desc_telemetry::CaptureSink::new();
     let outcome = {
         let _cancel_guard = desc_exec::install_cancel(cancel.clone());
+        let _group_guard = desc_exec::install_group(Some(group));
         catch_unwind(AssertUnwindSafe(|| {
             desc_telemetry::with_capture(&sink, || {
                 request
@@ -599,6 +670,15 @@ fn handle_run(shared: &Shared, request: &Request, started: Instant) -> Json {
         }
     };
 
+    // Cells this request got from a concurrent leader via
+    // single-flight (operational side-channel of the capture sink;
+    // warm cache hits do not count).
+    let dedup_cells = sink.op_count("dedup_cells");
+    Counters::add(&shared.counters.dedup_cells, "serve.dedup_cells", dedup_cells);
+    if dedup_cells > 0 {
+        Counters::bump(&shared.counters.dedup_requests, "serve.dedup_requests");
+    }
+
     let report = Report {
         meta: ReportMeta {
             tool: "serve".to_owned(),
@@ -631,7 +711,8 @@ fn handle_run(shared: &Shared, request: &Request, started: Instant) -> Json {
     };
     Counters::bump(&shared.counters.completed, "serve.completed");
     let elapsed_ms = started.elapsed().as_millis() as u64;
-    proto::ok_run(&request.id, elapsed_ms, report.to_json(), tables)
+    shared.note_service_ms(elapsed_ms);
+    proto::ok_run(&request.id, elapsed_ms, dedup_cells, report.to_json(), tables)
 }
 
 #[cfg(test)]
@@ -672,6 +753,32 @@ mod tests {
         drop(a);
         assert!(queued.join().unwrap(), "queued request admits when a slot frees");
         drop(b);
+    }
+
+    #[test]
+    fn retry_hint_tracks_service_time_and_falls_back_when_unsampled() {
+        let shared = Shared {
+            config: ServeConfig { workers: 2, retry_after_ms: 250, ..ServeConfig::default() },
+            addr: "127.0.0.1:0".parse().unwrap(),
+            gate: Gate::new(2, 8),
+            counters: Counters::default(),
+            conns: Mutex::new(Vec::new()),
+            service_ewma_ms: AtomicU64::new(0),
+        };
+        // No completed request yet: the configured constant.
+        assert_eq!(shared.retry_hint(), 250);
+        // First sample seeds the EWMA; an empty queue estimates one
+        // service time spread over the workers.
+        shared.note_service_ms(800);
+        assert_eq!(shared.retry_hint(), 400);
+        // Subsequent samples fold in at α = 1/8 (zero clamps to 1 ms).
+        shared.note_service_ms(0);
+        assert_eq!(shared.service_ewma_ms.load(Ordering::Relaxed), 700);
+        // The hint never drops below 25 ms nor exceeds 60 s.
+        shared.service_ewma_ms.store(10, Ordering::Relaxed);
+        assert_eq!(shared.retry_hint(), 25);
+        shared.service_ewma_ms.store(1_000_000, Ordering::Relaxed);
+        assert_eq!(shared.retry_hint(), 60_000);
     }
 
     #[test]

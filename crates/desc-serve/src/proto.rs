@@ -78,6 +78,10 @@ pub struct Request {
     pub op: Op,
     /// Client-chosen correlation id, echoed verbatim in the response.
     pub id: String,
+    /// Client identity used for fair cross-client scheduling: requests
+    /// carrying the same `client` share one fair-queue weight; absent,
+    /// the request is scheduled under its own identity.
+    pub client: Option<String>,
     /// Experiment names (already expanded if the client sent `"all"`).
     pub experiments: Vec<String>,
     /// Scale preset name: `"tiny"`, `"quick"`, or `"full"`.
@@ -145,6 +149,14 @@ impl Request {
                 .ok_or_else(|| "`id` must be a string".to_owned())?
                 .to_owned(),
         };
+        let client = match json.get("client") {
+            None => None,
+            Some(v) => Some(
+                v.as_str()
+                    .ok_or_else(|| "`client` must be a string".to_owned())?
+                    .to_owned(),
+            ),
+        };
         let experiments = match json.get("experiments") {
             None if op == Op::Run => {
                 return Err("`op: run` requires `experiments` (a name list or \"all\")".to_owned())
@@ -208,6 +220,7 @@ impl Request {
         Ok(Request {
             op,
             id,
+            client,
             experiments,
             preset,
             accesses,
@@ -232,10 +245,20 @@ fn response_base(id: &str, status: &str) -> Json {
 
 /// A successful `run` response embedding a full `desc-run-report/v1`
 /// document and, when requested, rendered tables keyed by experiment.
+/// `dedup_cells` counts this request's cells that were computed by a
+/// concurrent request and shared via single-flight (warm cache hits do
+/// not count).
 #[must_use]
-pub fn ok_run(id: &str, elapsed_ms: u64, report: Json, tables: Option<Json>) -> Json {
+pub fn ok_run(
+    id: &str,
+    elapsed_ms: u64,
+    dedup_cells: u64,
+    report: Json,
+    tables: Option<Json>,
+) -> Json {
     let mut out = response_base(id, "ok")
         .with("elapsed_ms", Json::UInt(elapsed_ms))
+        .with("dedup_cells", Json::UInt(dedup_cells))
         .with("report", report);
     if let Some(tables) = tables {
         out = out.with("tables", tables);
@@ -294,6 +317,16 @@ mod tests {
         assert_eq!(req.preset, "tiny");
         assert_eq!(req.tables, Tables::None);
         assert!(req.deadline_ms.is_none());
+        assert!(req.client.is_none());
+    }
+
+    #[test]
+    fn parses_the_client_identity() {
+        let req = parse(
+            r#"{"schema":"desc-run-request/v1","op":"run","client":"ci-bot","experiments":["fig16"]}"#,
+        )
+        .unwrap();
+        assert_eq!(req.client.as_deref(), Some("ci-bot"));
     }
 
     #[test]
@@ -324,6 +357,10 @@ mod tests {
                 r#"{"schema":"desc-run-request/v1","op":"run","experiments":["fig16"],"deadline_ms":0}"#,
                 "deadline_ms",
             ),
+            (
+                r#"{"schema":"desc-run-request/v1","op":"run","experiments":["fig16"],"client":7}"#,
+                "client",
+            ),
             ("not json at all", "not JSON"),
             (r#"[1,2,3]"#, "object"),
         ] {
@@ -334,7 +371,7 @@ mod tests {
 
     #[test]
     fn response_builders_tag_the_schema_and_echo_the_id() {
-        let ok = ok_run("req-1", 12, Json::obj(), None);
+        let ok = ok_run("req-1", 12, 0, Json::obj(), None);
         assert_eq!(ok.get("schema").and_then(Json::as_str), Some(RESPONSE_SCHEMA));
         assert_eq!(ok.get("id").and_then(Json::as_str), Some("req-1"));
         assert_eq!(ok.get("status").and_then(Json::as_str), Some("ok"));

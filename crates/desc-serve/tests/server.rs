@@ -206,6 +206,148 @@ fn concurrent_clients_match_repro_metrics_and_share_the_cache() {
 }
 
 #[test]
+fn concurrent_duplicate_requests_compute_each_cold_cell_exactly_once() {
+    let _guard = serialize();
+    let expected = expected_metrics();
+    let version = desc_experiments::cache::CELL_SCHEMA_VERSION;
+    let (addr, server) = start_server(ServeConfig {
+        workers: 4,
+        queue: 8,
+        ..ServeConfig::default()
+    });
+
+    // Serial reference: one request against a fresh store records how
+    // many distinct cells the sweep has (every store is one cell).
+    let serial_store = Arc::new(desc_cache::CacheStore::in_memory(version));
+    desc_experiments::cache::install(Some(Arc::clone(&serial_store)));
+    {
+        let mut c = Client::connect(addr).expect("serial client");
+        let reply = c.request(&tiny_request("serial").to_json()).expect("serial round-trip");
+        assert_eq!(reply.get("status").and_then(Json::as_str), Some("ok"));
+    }
+    let distinct_cells = serial_store.stats().stores;
+    assert!(distinct_cells > 0, "the sweep must have at least one cell");
+
+    // Concurrent duplicates: four clients submit the same cold sweep
+    // simultaneously against a fresh store.
+    let store = Arc::new(desc_cache::CacheStore::in_memory(version));
+    desc_experiments::cache::install(Some(Arc::clone(&store)));
+    let clients: Vec<_> = (0..4)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).expect("client connects");
+                c.request(&tiny_request(&format!("dup-{i}")).to_json()).expect("run round-trip")
+            })
+        })
+        .collect();
+    let mut shared_cells = 0;
+    for handle in clients {
+        let reply = handle.join().expect("client thread");
+        assert_eq!(
+            reply.get("status").and_then(Json::as_str),
+            Some("ok"),
+            "{}",
+            reply.to_pretty()
+        );
+        let metrics = reply
+            .get("report")
+            .and_then(|r| r.get("metrics"))
+            .expect("report has metrics")
+            .to_pretty();
+        assert_eq!(metrics, expected, "duplicate responses must match a direct run byte for byte");
+        shared_cells += reply.get("dedup_cells").and_then(Json::as_u64).expect("dedup_cells key");
+    }
+    desc_experiments::cache::install(None);
+
+    // The tentpole invariant: four overlapping demanders, each cold
+    // cell computed (and stored) exactly once, the rest shared.
+    let stats = store.stats();
+    assert_eq!(
+        stats.stores, distinct_cells,
+        "every cold cell must be computed exactly once across duplicates (stats: {stats:?})"
+    );
+    assert_eq!(stats.inflight_leads, distinct_cells, "{stats:?}");
+    assert!(
+        shared_cells >= 1,
+        "concurrent duplicates must share at least one in-flight cell (stats: {stats:?})"
+    );
+
+    // The server accounts the sharing cumulatively.
+    let mut c = Client::connect(addr).expect("ping client");
+    let pong = c.request(&ping_request("dedup-stats")).expect("ping round-trip");
+    let serve = pong.get("serve").expect("serve stanza");
+    assert_eq!(serve.get("dedup_cells").and_then(Json::as_u64), Some(shared_cells));
+    assert!(serve.get("dedup_requests").and_then(Json::as_u64) >= Some(1));
+
+    shutdown(addr);
+    server.join().expect("server thread").expect("clean drain");
+}
+
+#[test]
+fn a_small_request_completes_while_a_large_sweep_is_in_flight() {
+    let _guard = serialize();
+    let version = desc_experiments::cache::CELL_SCHEMA_VERSION;
+    desc_experiments::cache::install(Some(Arc::new(desc_cache::CacheStore::in_memory(version))));
+    let (addr, server) = start_server(ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    });
+
+    // A deliberately large sweep (~20x the probe) under its own client
+    // identity.
+    let sweep = std::thread::spawn(move || {
+        let mut c = Client::connect(addr).expect("sweep client");
+        let request = RunRequest {
+            id: Some("sweep".to_owned()),
+            client: Some("sweep-client".to_owned()),
+            accesses: Some(ACCESSES * 20),
+            ..RunRequest::new(&EXPERIMENTS, "tiny")
+        };
+        c.request(&request.to_json()).expect("sweep round-trip")
+    });
+
+    // Wait until the sweep is actually executing before probing.
+    let mut c = Client::connect(addr).expect("probe client");
+    loop {
+        let pong = c.request(&ping_request("probe-poll")).expect("ping round-trip");
+        let active = pong.get("serve").and_then(|s| s.get("active")).and_then(Json::as_u64);
+        if active >= Some(1) {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+
+    // The 1-experiment probe (distinct seed, so no cell overlap with
+    // the sweep) must complete while the sweep is still in flight —
+    // fair scheduling means it does not queue behind the sweep's
+    // remaining cells.
+    let request = RunRequest {
+        id: Some("probe".to_owned()),
+        client: Some("probe-client".to_owned()),
+        accesses: Some(ACCESSES),
+        seed: Some(7),
+        ..RunRequest::new(&["fig16"], "tiny")
+    };
+    let reply = c.request(&request.to_json()).expect("probe round-trip");
+    assert_eq!(
+        reply.get("status").and_then(Json::as_str),
+        Some("ok"),
+        "{}",
+        reply.to_pretty()
+    );
+    assert!(
+        !sweep.is_finished(),
+        "the probe must complete while the large sweep is still in flight"
+    );
+
+    let sweep_reply = sweep.join().expect("sweep thread");
+    assert_eq!(sweep_reply.get("status").and_then(Json::as_str), Some("ok"));
+    desc_experiments::cache::install(None);
+    shutdown(addr);
+    server.join().expect("server thread").expect("clean drain");
+}
+
+#[test]
 fn malformed_inputs_get_structured_errors_on_a_surviving_connection() {
     let _guard = serialize();
     desc_experiments::cache::install(None);

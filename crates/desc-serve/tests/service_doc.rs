@@ -63,6 +63,7 @@ fn service_document_matches_the_wire_encoders() {
     // A representative request exercising every optional key.
     let request = RunRequest {
         id: Some("conformance".to_owned()),
+        client: Some("conformance-suite".to_owned()),
         accesses: Some(400),
         apps: Some(2),
         seed: Some(2013),
@@ -78,7 +79,7 @@ fn service_document_matches_the_wire_encoders() {
     // error shape with its conditional retry hint.
     let report = Json::obj().with("schema", Json::Str("desc-run-report/v1".to_owned()));
     let tables = Json::obj().with("fig16", Json::Str("rendered".to_owned()));
-    flatten("response", &proto::ok_run("id", 1, report, Some(tables)), &mut emitted);
+    flatten("response", &proto::ok_run("id", 1, 1, report, Some(tables)), &mut emitted);
     let serve = Json::obj();
     let cache = Json::obj();
     flatten("response", &proto::ok_ping("id", 0, serve, Some(cache)), &mut emitted);

@@ -72,6 +72,13 @@ struct SinkInner {
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, u64>,
     histograms: BTreeMap<String, HistCap>,
+    /// Operational side-channel counters ([`CaptureSink::incr_op`]),
+    /// deliberately excluded from [`CaptureSink::snapshot`]: they
+    /// describe how the scope's work was *served* (e.g. how many cells
+    /// a `desc-serve` request received from an in-flight leader), not
+    /// what it computed, so they must never reach the deterministic
+    /// `metrics` stanza.
+    ops: BTreeMap<String, u64>,
 }
 
 /// An accumulating record of named-metric updates on the threads it
@@ -145,6 +152,28 @@ impl CaptureSink {
                 }
             }
         }
+    }
+
+    /// Increments an operational side-channel counter on this sink.
+    /// Unlike mirrored metrics these are scoped to the sink alone
+    /// (nothing reaches the global registry) and excluded from
+    /// [`CaptureSink::snapshot`], so a scope can count *how* its work
+    /// was served without perturbing the deterministic delta.
+    pub fn incr_op(&self, name: &str) {
+        let mut inner = self.inner.lock().expect("capture sink poisoned");
+        if let Some(v) = inner.ops.get_mut(name) {
+            *v += 1;
+        } else {
+            inner.ops.insert(name.to_owned(), 1);
+        }
+    }
+
+    /// The current value of an operational counter (0 if never
+    /// incremented).
+    #[must_use]
+    pub fn op_count(&self, name: &str) -> u64 {
+        let inner = self.inner.lock().expect("capture sink poisoned");
+        inner.ops.get(name).copied().unwrap_or(0)
     }
 
     fn add_counter(&self, name: &str, n: u64) {
@@ -406,6 +435,18 @@ mod tests {
             }
         });
         assert_eq!(outer.snapshot(), direct.snapshot());
+    }
+
+    #[test]
+    fn op_counters_stay_out_of_the_snapshot() {
+        let sink = CaptureSink::new();
+        assert_eq!(sink.op_count("dedup_cells"), 0);
+        sink.incr_op("dedup_cells");
+        sink.incr_op("dedup_cells");
+        assert_eq!(sink.op_count("dedup_cells"), 2);
+        // The deterministic delta never sees the side channel.
+        assert!(sink.snapshot().metrics.is_empty());
+        assert!(sink.is_empty(), "op counters are not captured metrics");
     }
 
     #[test]

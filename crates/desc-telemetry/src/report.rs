@@ -199,6 +199,21 @@ pub struct CacheReport {
     /// Unreadable/corrupt entries or failed writes (recomputed /
     /// non-fatal).
     pub errors: u64,
+    /// Hot-tier entries dropped to keep the in-memory map under its
+    /// byte budget (`DESC_CACHE_MEM_BYTES`); the disk store of record
+    /// is unaffected.
+    pub evictions: u64,
+    /// Callers that became the single-flight leader for a cold cell.
+    pub inflight_leads: u64,
+    /// Callers that found their cell already in flight and waited for
+    /// the leader instead of recomputing.
+    pub inflight_waits: u64,
+    /// Waits resolved with the leader's published entry — each one a
+    /// duplicate compute avoided.
+    pub inflight_hits: u64,
+    /// Waits that ended with the leader abandoning the cell (panic or
+    /// cancellation); a waiting follower took over leadership.
+    pub inflight_handoffs: u64,
     /// Keys recorded in the on-disk manifest after the run.
     pub manifest_cells: u64,
     /// True when the run was started with `--resume`.
@@ -220,6 +235,11 @@ impl CacheReport {
             .with("stores", Json::UInt(self.stores))
             .with("version_mismatches", Json::UInt(self.version_mismatches))
             .with("errors", Json::UInt(self.errors))
+            .with("evictions", Json::UInt(self.evictions))
+            .with("inflight_leads", Json::UInt(self.inflight_leads))
+            .with("inflight_waits", Json::UInt(self.inflight_waits))
+            .with("inflight_hits", Json::UInt(self.inflight_hits))
+            .with("inflight_handoffs", Json::UInt(self.inflight_handoffs))
             .with("manifest_cells", Json::UInt(self.manifest_cells))
             .with("resumed", Json::Bool(self.resumed))
     }
@@ -255,6 +275,12 @@ pub struct ServeReport {
     pub timed_out: u64,
     /// Requests that failed with an `internal` error.
     pub failed: u64,
+    /// Cells served to a request from a cell already being computed by
+    /// a concurrent request (single-flight dedup; each one a duplicate
+    /// compute avoided process-wide).
+    pub dedup_cells: u64,
+    /// `run` requests that received at least one deduped cell.
+    pub dedup_requests: u64,
     /// `run` requests executing right now.
     pub active: u64,
     /// True once graceful shutdown has begun (drain in progress).
@@ -277,6 +303,8 @@ impl ServeReport {
             .with("rejected_malformed", Json::UInt(self.rejected_malformed))
             .with("timed_out", Json::UInt(self.timed_out))
             .with("failed", Json::UInt(self.failed))
+            .with("dedup_cells", Json::UInt(self.dedup_cells))
+            .with("dedup_requests", Json::UInt(self.dedup_requests))
             .with("active", Json::UInt(self.active))
             .with("draining", Json::Bool(self.draining))
     }
@@ -454,6 +482,11 @@ mod tests {
                 stores: 4,
                 version_mismatches: 0,
                 errors: 0,
+                evictions: 1,
+                inflight_leads: 4,
+                inflight_waits: 2,
+                inflight_hits: 2,
+                inflight_handoffs: 0,
                 manifest_cells: 7,
                 resumed: true,
             }),
@@ -468,6 +501,8 @@ mod tests {
                 rejected_malformed: 0,
                 timed_out: 0,
                 failed: 0,
+                dedup_cells: 2,
+                dedup_requests: 1,
                 active: 0,
                 draining: false,
             }),

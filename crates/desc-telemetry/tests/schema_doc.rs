@@ -155,6 +155,11 @@ fn schema_document_matches_emitted_report() {
             stores: 2,
             version_mismatches: 0,
             errors: 0,
+            evictions: 0,
+            inflight_leads: 2,
+            inflight_waits: 1,
+            inflight_hits: 1,
+            inflight_handoffs: 0,
             manifest_cells: 4,
             resumed: false,
         }),
@@ -169,6 +174,8 @@ fn schema_document_matches_emitted_report() {
             rejected_malformed: 0,
             timed_out: 0,
             failed: 0,
+            dedup_cells: 1,
+            dedup_requests: 1,
             active: 0,
             draining: false,
         }),
