@@ -452,10 +452,21 @@ impl CacheStore {
 
     /// Reports that an entry returned by [`CacheStore::lookup`] had an
     /// undecodable payload (caller-level codec disagreement). Evicts
-    /// it from the hot tier so the recompute's [`CacheStore::store`]
-    /// is what future lookups see.
+    /// it from the hot tier *and* deletes the on-disk object, so the
+    /// next lookup is a genuine miss and the recompute's
+    /// [`CacheStore::store`] is what future lookups see — without the
+    /// deletion, a disk-backed store would keep re-serving the same
+    /// entry-level-valid but app-undecodable object forever.
     pub fn note_corrupt(&self, key: &CellKey) {
         self.hot.lock().expect("hot tier poisoned").remove(key);
+        if let Some(dir) = &self.dir {
+            let removed = std::fs::remove_file(self.object_path(dir, key));
+            if let Err(e) = removed {
+                if e.kind() != std::io::ErrorKind::NotFound {
+                    self.bump(&self.stats.errors, "cache.errors");
+                }
+            }
+        }
         self.bump(&self.stats.errors, "cache.errors");
     }
 
@@ -717,6 +728,25 @@ mod tests {
         assert!(fresh.lookup(&key(5), false).is_none());
         let stats = fresh.stats();
         assert_eq!((stats.errors, stats.misses), (1, 1));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn note_corrupt_deletes_the_disk_object_so_lookup_misses() {
+        let dir = tmp_dir("notecorrupt");
+        let store = CacheStore::open(&dir, 1).unwrap();
+        store.store(&key(6), vec![1, 2, 3], None);
+        // The entry is entry-level valid; pretend the *application*
+        // codec rejected its payload.
+        store.note_corrupt(&key(6));
+        // Hot tier and disk object are both gone: the next demand is
+        // a miss even through a fresh store on the same directory, so
+        // a caller can never be fed the same undecodable object again.
+        assert!(store.lookup(&key(6), false).is_none());
+        assert!(CacheStore::open(&dir, 1).unwrap().lookup(&key(6), false).is_none());
+        assert!(store.stats().errors >= 1);
+        // Re-reporting an already-deleted object stays non-fatal.
+        store.note_corrupt(&key(6));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

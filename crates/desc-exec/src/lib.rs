@@ -417,7 +417,14 @@ impl Group {
         self.inner.vtime.fetch_add(WEIGHT_SCALE / self.inner.weight, Ordering::Relaxed);
     }
 
-    fn same(&self, other: &Group) -> bool {
+    /// True when `self` and `other` are handles to the *same* group
+    /// (shared service accounting), as opposed to two groups that
+    /// merely share a name. This is the identity the scheduler uses:
+    /// fairness is per group instance, so callers that want several
+    /// requests to share one fair-queue weight must clone one handle
+    /// rather than construct groups with equal names.
+    #[must_use]
+    pub fn same(&self, other: &Group) -> bool {
         Arc::ptr_eq(&self.inner, &other.inner)
     }
 }

@@ -231,23 +231,15 @@ fn cached_cell<T>(
     let want_delta = desc_telemetry::enabled();
     let outer = desc_telemetry::capture_sink();
     let mut compute = Some(compute);
+    let mut corrupt_retried = false;
     loop {
         let outcome = store.begin_flight(key, want_delta, &mut || desc_exec::check_cancelled());
         let (entry, shared) = match outcome {
             FlightOutcome::Ready(entry) => (entry, false),
             FlightOutcome::Shared(entry) => (entry, true),
             FlightOutcome::Lead(lease) => {
-                let compute = compute.take().expect("a cell leads at most once");
-                let (value, delta) = if want_delta {
-                    let sink = desc_telemetry::CaptureSink::new();
-                    let value = desc_telemetry::with_capture(&sink, compute);
-                    (value, Some(sink.snapshot()))
-                } else {
-                    (compute(), None)
-                };
-                if let (Some(outer), Some(delta)) = (&outer, delta.as_ref()) {
-                    outer.absorb(delta);
-                }
+                let compute = compute.take().expect("a cell computes at most once");
+                let (value, delta) = compute_traced(want_delta, outer.as_deref(), compute);
                 lease.publish(encode(&value), delta);
                 return value;
             }
@@ -270,11 +262,51 @@ fn cached_cell<T>(
                 return value;
             }
             // Undecodable payload (codec drift without a version
-            // bump): count it, evict it, recompute (next iteration
-            // leads).
-            Err(_) => store.note_corrupt(key),
+            // bump): count it and evict it everywhere — hot tier and
+            // disk object — so the next iteration misses and leads a
+            // recompute whose store overwrites the entry.
+            Err(_) => {
+                store.note_corrupt(key);
+                if corrupt_retried {
+                    // The store served an undecodable entry *again*
+                    // after eviction (e.g. the object file could not
+                    // be deleted, or another process keeps rewriting
+                    // it): stop cycling through lookup and recompute
+                    // directly, overwriting the entry. Bounds the
+                    // loop on any store behavior.
+                    let compute = compute.take().expect("a cell computes at most once");
+                    let (value, delta) = compute_traced(want_delta, outer.as_deref(), compute);
+                    store.store(key, encode(&value), delta);
+                    return value;
+                }
+                corrupt_retried = true;
+            }
         }
     }
+}
+
+/// Runs one cell compute under a fresh per-cell [`CaptureSink`] (when
+/// `want_delta`), returning the value plus the captured metric delta,
+/// with the delta absorbed into `outer` — the sink installed around
+/// the cell, e.g. a `desc-serve` request sink — on the way out.
+///
+/// [`CaptureSink`]: desc_telemetry::CaptureSink
+fn compute_traced<T>(
+    want_delta: bool,
+    outer: Option<&desc_telemetry::CaptureSink>,
+    compute: impl FnOnce() -> T,
+) -> (T, Option<desc_telemetry::Snapshot>) {
+    let (value, delta) = if want_delta {
+        let sink = desc_telemetry::CaptureSink::new();
+        let value = desc_telemetry::with_capture(&sink, compute);
+        (value, Some(sink.snapshot()))
+    } else {
+        (compute(), None)
+    };
+    if let (Some(outer), Some(delta)) = (outer, delta.as_ref()) {
+        outer.absorb(delta);
+    }
+    (value, delta)
 }
 
 /// Simulates `profile` under a paper-configured scheme on the paper's

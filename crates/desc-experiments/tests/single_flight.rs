@@ -105,6 +105,41 @@ fn cancelled_leader_hands_the_cell_to_a_waiting_follower() {
     cache::decode_app_run(&entry.payload).expect("entry is complete");
 }
 
+/// Regression: a *disk-backed* store holding an entry-level-valid
+/// object whose payload the app codec rejects (codec drift without a
+/// `CELL_SCHEMA_VERSION` bump — e.g. one `--cache-dir` reused across
+/// builds). The demand must terminate with a recompute that
+/// overwrites the object; it must never cycle
+/// `lookup -> decode fail -> evict hot tier -> re-read disk` forever.
+#[test]
+fn undecodable_disk_entry_recomputes_and_overwrites_instead_of_looping() {
+    let _guard = serialize();
+    let expected = run_cell();
+    let dir = std::env::temp_dir().join(format!("desc-sf-corrupt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let key = cell_key();
+    // Plant the poisoned object with a throwaway store, then reopen so
+    // the hot tier is cold and the demand takes the disk-read path the
+    // infinite loop lived on.
+    CacheStore::open(&dir, CELL_SCHEMA_VERSION)
+        .unwrap()
+        .store(&key, b"not an app run".to_vec(), None);
+    let store = Arc::new(CacheStore::open(&dir, CELL_SCHEMA_VERSION).unwrap());
+    cache::install(Some(Arc::clone(&store)));
+    let bytes = run_cell();
+    cache::install(None);
+    assert_eq!(bytes, expected, "recomputed cell differs from direct compute");
+    let stats = store.stats();
+    assert!(stats.errors >= 1, "the poisoned entry must be counted: {stats:?}");
+    assert_eq!(stats.stores, 1, "exactly one recompute: {stats:?}");
+    // The object on disk is now the recompute: a fresh store (new
+    // process) decodes it cleanly.
+    let fresh = CacheStore::open(&dir, CELL_SCHEMA_VERSION).unwrap();
+    let entry = fresh.lookup(&key, false).expect("overwritten object serves");
+    cache::decode_app_run(&entry.payload).expect("entry decodes after the overwrite");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 #[test]
 fn cancelled_follower_abandons_its_wait_without_disturbing_the_leader() {
     let _guard = serialize();

@@ -23,11 +23,14 @@
 //!   hint is dynamic: queue depth times an EWMA of recent service
 //!   times, divided by the worker count, clamped to [25 ms, 60 s]
 //!   (the configured constant until a first request completes).
-//! - **Fairness**: each admitted request executes its cells under a
-//!   [`desc_exec::Group`] named by the request's `client` key (its
-//!   `id` when untagged), so pool workers drain concurrent requests'
-//!   regions weighted-round-robin — a 1-cell probe completes while a
-//!   1000-cell sweep is in flight instead of queueing behind it.
+//! - **Fairness**: each admitted request executes its cells under the
+//!   [`desc_exec::Group`] of the request's `client` key (its `id`
+//!   when untagged) — one shared group *instance* per identity, so N
+//!   concurrent requests from one client share one fair-queue weight
+//!   rather than multiplying their share — and pool workers drain
+//!   concurrent clients' regions weighted-round-robin: a 1-cell probe
+//!   completes while a 1000-cell sweep is in flight instead of
+//!   queueing behind it.
 //!   Overlapping sweeps also deduplicate: a cell already being
 //!   computed by another request is shared via single-flight, reported
 //!   per-request as `dedup_cells` and cumulatively as
@@ -58,6 +61,7 @@ pub mod client;
 pub mod frame;
 pub mod proto;
 
+use std::collections::HashMap;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -260,24 +264,76 @@ struct Conn {
     done: AtomicBool,
 }
 
+/// One client identity's scheduling group plus how many admitted
+/// requests currently hold it; the registry entry is dropped when the
+/// count returns to zero, so an idle (or one-shot) identity leaves no
+/// state behind.
+struct GroupSlot {
+    group: desc_exec::Group,
+    active: usize,
+}
+
 struct Shared {
     config: ServeConfig,
     addr: SocketAddr,
     gate: Arc<Gate>,
     counters: Counters,
     conns: Mutex<Vec<Arc<Conn>>>,
+    /// Live fair-scheduling groups keyed by client identity, so N
+    /// concurrent requests carrying the same `client` share **one**
+    /// fair-queue weight (the documented contract) instead of
+    /// multiplying their share by submitting concurrently.
+    groups: Mutex<HashMap<String, GroupSlot>>,
     /// EWMA (α = 1/8) of completed-request service time in ms; `0`
     /// means no request has completed yet. Feeds [`Shared::retry_hint`].
     service_ewma_ms: AtomicU64,
 }
 
+/// Holds one request's claim on its client identity's [`GroupSlot`];
+/// dropping it releases the claim (and retires the idle group).
+struct GroupLease<'a> {
+    shared: &'a Shared,
+    identity: String,
+    group: desc_exec::Group,
+}
+
+impl Drop for GroupLease<'_> {
+    fn drop(&mut self) {
+        let mut groups = self.shared.groups.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(slot) = groups.get_mut(&self.identity) {
+            slot.active = slot.active.saturating_sub(1);
+            if slot.active == 0 {
+                groups.remove(&self.identity);
+            }
+        }
+    }
+}
+
 impl Shared {
-    /// Folds one completed request's service time into the EWMA.
+    /// Checks out the scheduling group for `identity`, creating it on
+    /// first use and sharing the *same* group instance with every
+    /// concurrently admitted request carrying the identity (fairness
+    /// is per group instance — see [`desc_exec::Group::same`]).
+    fn checkout_group(&self, identity: &str) -> GroupLease<'_> {
+        let mut groups = self.groups.lock().unwrap_or_else(|e| e.into_inner());
+        let slot = groups
+            .entry(identity.to_owned())
+            .or_insert_with(|| GroupSlot { group: desc_exec::Group::new(identity, 1), active: 0 });
+        slot.active += 1;
+        GroupLease { shared: self, identity: identity.to_owned(), group: slot.group.clone() }
+    }
+
+    /// Folds one completed request's service time into the EWMA. A
+    /// single atomic read-modify-write so concurrent completions each
+    /// land a sample instead of overwriting each other.
     fn note_service_ms(&self, elapsed_ms: u64) {
         let sample = elapsed_ms.max(1);
-        let old = self.service_ewma_ms.load(Ordering::Relaxed);
-        let new = if old == 0 { sample } else { (old * 7 + sample) / 8 };
-        self.service_ewma_ms.store(new, Ordering::Relaxed);
+        let folded = self.service_ewma_ms.fetch_update(
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+            |old| Some(if old == 0 { sample } else { (old * 7 + sample) / 8 }),
+        );
+        debug_assert!(folded.is_ok(), "fetch_update with Some never fails");
     }
 
     /// The `retry_after_ms` hint for a `busy` rejection: the time the
@@ -379,6 +435,7 @@ impl Server {
             gate,
             counters: Counters::default(),
             conns: Mutex::new(Vec::new()),
+            groups: Mutex::new(HashMap::new()),
             service_ewma_ms: AtomicU64::new(0),
         });
         Ok(Server { listener, shared })
@@ -610,21 +667,25 @@ fn handle_run(shared: &Shared, request: &Request, started: Instant) -> Json {
     // served warm from the shared cache — is absorbed into it (see
     // `desc_experiments::run_custom_keyed`), so the embedded report's
     // `metrics` match a `repro --report` of the same cells.
-    // The request's fair-scheduling identity: requests tagged with the
-    // same `client` share one weight per request, so a small request
-    // drains alongside a large sweep instead of behind it (see
-    // `desc_exec`'s fair cross-group scheduling).
+    // The request's fair-scheduling identity: concurrent requests
+    // tagged with the same `client` check out the *same* group from
+    // the shared registry, so together they get one fair-queue weight
+    // — a client cannot multiply its share by submitting concurrent
+    // requests — while a small client still drains alongside a large
+    // sweep instead of behind it (see `desc_exec`'s fair cross-group
+    // scheduling). The lease drops when this request finishes, which
+    // retires the group once its last concurrent holder is done.
     let identity = request.client.as_deref().unwrap_or(if request.id.is_empty() {
         "anonymous"
     } else {
         request.id.as_str()
     });
-    let group = desc_exec::Group::new(identity, 1);
+    let group_lease = shared.checkout_group(identity);
 
     let sink = desc_telemetry::CaptureSink::new();
     let outcome = {
         let _cancel_guard = desc_exec::install_cancel(cancel.clone());
-        let _group_guard = desc_exec::install_group(Some(group));
+        let _group_guard = desc_exec::install_group(Some(group_lease.group.clone()));
         catch_unwind(AssertUnwindSafe(|| {
             desc_telemetry::with_capture(&sink, || {
                 request
@@ -755,16 +816,46 @@ mod tests {
         drop(b);
     }
 
-    #[test]
-    fn retry_hint_tracks_service_time_and_falls_back_when_unsampled() {
-        let shared = Shared {
+    fn test_shared() -> Shared {
+        Shared {
             config: ServeConfig { workers: 2, retry_after_ms: 250, ..ServeConfig::default() },
             addr: "127.0.0.1:0".parse().unwrap(),
             gate: Gate::new(2, 8),
             counters: Counters::default(),
             conns: Mutex::new(Vec::new()),
+            groups: Mutex::new(HashMap::new()),
             service_ewma_ms: AtomicU64::new(0),
-        };
+        }
+    }
+
+    #[test]
+    fn concurrent_requests_with_one_client_share_one_group() {
+        let shared = test_shared();
+        // Two concurrent checkouts of the same identity: one group
+        // instance (one fair-queue weight), per the protocol docs.
+        let a = shared.checkout_group("ci-bot");
+        let b = shared.checkout_group("ci-bot");
+        assert!(a.group.same(&b.group), "same client must share one group");
+        // A different identity gets its own group.
+        let other = shared.checkout_group("probe");
+        assert!(!a.group.same(&other.group));
+        // Releasing one holder keeps the group alive for the other...
+        drop(a);
+        let c = shared.checkout_group("ci-bot");
+        assert!(b.group.same(&c.group), "group persists while a holder remains");
+        // ...and releasing the last retires the registry entry, so a
+        // later request starts a fresh group (no unbounded growth).
+        drop(b);
+        drop(c);
+        drop(other);
+        assert!(shared.groups.lock().unwrap().is_empty(), "idle identities leave no state");
+        let fresh = shared.checkout_group("ci-bot");
+        assert_eq!(fresh.group.name(), "ci-bot");
+    }
+
+    #[test]
+    fn retry_hint_tracks_service_time_and_falls_back_when_unsampled() {
+        let shared = test_shared();
         // No completed request yet: the configured constant.
         assert_eq!(shared.retry_hint(), 250);
         // First sample seeds the EWMA; an empty queue estimates one
